@@ -1,0 +1,400 @@
+// Package bgpintent infers the coarse-grained intent of BGP communities
+// — action versus information — from public BGP routing data, after
+// Krenc, Luckie, Marder and claffy, "Coarse-grained Inference of BGP
+// Community Intent" (IMC 2023).
+//
+// The library ships everything needed to reproduce the paper offline:
+// a BGP/MRT substrate, a synthetic Internet and route-propagation
+// simulator that stands in for RouteViews/RIPE RIS, the inference
+// pipeline itself, a reimplementation of the Da Silva et al. location
+// inference it improves, and an experiment harness regenerating every
+// table and figure (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	c, err := bgpintent.NewSyntheticCorpus(bgpintent.CorpusOptions{})
+//	if err != nil { ... }
+//	res := c.Classify(bgpintent.DefaultParams())
+//	cat := res.Category(bgpintent.Comm(1299, 2569)) // Action
+//
+// Real MRT archives (TABLE_DUMP_V2 RIBs and BGP4MP updates) load with
+// LoadMRTCorpus.
+package bgpintent
+
+import (
+	"compress/bzip2"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"bgpintent/internal/asrel"
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/core"
+	"bgpintent/internal/corpus"
+	"bgpintent/internal/dict"
+	"bgpintent/internal/mrt"
+)
+
+// Category is the inferred coarse-grained intent of a community.
+type Category int8
+
+const (
+	// Unknown: unobserved, or excluded from classification (private-ASN
+	// α, or an α that never appears in AS paths, such as IXP route
+	// servers).
+	Unknown Category = iota
+	// Action communities are set by neighbors to influence routing in
+	// the AS identified by the community's first half.
+	Action
+	// Information communities are set by that AS itself to record route
+	// metadata (ingress location, neighbor relationship, ROV status...).
+	Information
+)
+
+// String returns "unknown", "action" or "information".
+func (c Category) String() string {
+	switch c {
+	case Action:
+		return "action"
+	case Information:
+		return "information"
+	default:
+		return "unknown"
+	}
+}
+
+func fromDictCategory(c dict.Category) Category {
+	switch c {
+	case dict.CatAction:
+		return Action
+	case dict.CatInformation:
+		return Information
+	default:
+		return Unknown
+	}
+}
+
+// Community is a regular 32-bit BGP community α:β.
+type Community struct {
+	ASN   uint16 // α: the AS defining the meaning
+	Value uint16 // β: the operator-assigned value
+}
+
+// Comm builds a Community.
+func Comm(asn, value uint16) Community { return Community{ASN: asn, Value: value} }
+
+// String renders α:β.
+func (c Community) String() string { return fmt.Sprintf("%d:%d", c.ASN, c.Value) }
+
+func (c Community) wire() bgp.Community { return bgp.NewCommunity(c.ASN, c.Value) }
+
+// Params are the classifier parameters; the defaults are the paper's
+// operating point.
+type Params struct {
+	// MinGap is the maximum distance between adjacent β values within one
+	// cluster (paper: 140; 0 disables clustering).
+	MinGap int
+	// RatioThreshold is the on-path:off-path ratio at or above which a
+	// mixed cluster is information (paper: 160).
+	RatioThreshold float64
+}
+
+// DefaultParams returns the paper's parameters (gap 140, ratio 160:1).
+func DefaultParams() Params { return Params{MinGap: 140, RatioThreshold: 160} }
+
+// CorpusOptions control synthetic corpus generation.
+type CorpusOptions struct {
+	// Seed selects the deterministic corpus; 0 means seed 1.
+	Seed int64
+	// Days of simulated BGP data (default 7, like the paper's week).
+	Days int
+	// Small selects the fast test-sized corpus instead of the default
+	// benchmark scale.
+	Small bool
+}
+
+// Corpus is a loaded BGP dataset ready for classification: unique
+// (AS path, communities) tuples plus the as2org sibling context.
+type Corpus struct {
+	store *core.TupleStore
+	orgs  *asrel.OrgMap
+
+	// synthetic extras (nil for MRT-loaded corpora)
+	syn *corpus.Corpus
+}
+
+// NewSyntheticCorpus generates the paper-substitute corpus: a synthetic
+// Internet whose routing and community-tagging behavior reproduces the
+// distributions the method relies on (see DESIGN.md §2).
+func NewSyntheticCorpus(opts CorpusOptions) (*Corpus, error) {
+	cfg := corpus.DefaultConfig()
+	if opts.Small {
+		cfg = corpus.TinyConfig()
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Days != 0 {
+		cfg.Days = opts.Days
+	}
+	c, err := corpus.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{store: c.Store, orgs: c.Orgs, syn: c}, nil
+}
+
+// LoadMRTCorpus reads TABLE_DUMP_V2 RIB files and BGP4MP updates files
+// (the RouteViews/RIS archive formats; .gz and .bz2 are decompressed
+// transparently) plus an optional as2org file ("asn|org" lines), and
+// builds the tuple corpus.
+func LoadMRTCorpus(ribPaths, updatePaths []string, orgPath string) (*Corpus, error) {
+	c := &Corpus{store: core.NewTupleStore(), orgs: asrel.NewOrgMap()}
+	for _, path := range ribPaths {
+		if err := c.addRIBFile(path); err != nil {
+			return nil, err
+		}
+	}
+	for _, path := range updatePaths {
+		if err := c.addUpdatesFile(path); err != nil {
+			return nil, err
+		}
+	}
+	if orgPath != "" {
+		f, err := os.Open(orgPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		m, err := asrel.ReadOrgMap(f)
+		if err != nil {
+			return nil, err
+		}
+		c.orgs = m
+	}
+	c.store.AnnotateOrgs(c.orgs)
+	return c, nil
+}
+
+// openMRT opens an MRT file, decompressing .gz/.bz2 by extension as the
+// RouteViews and RIS archives ship them.
+func openMRT(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".gz"):
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("bgpintent: %s: %w", path, err)
+		}
+		return &wrappedCloser{Reader: zr, close: func() error { zr.Close(); return f.Close() }}, nil
+	case strings.HasSuffix(path, ".bz2"):
+		return &wrappedCloser{Reader: bzip2.NewReader(f), close: f.Close}, nil
+	default:
+		return f, nil
+	}
+}
+
+// wrappedCloser pairs a decompressing reader with the underlying file's
+// closer.
+type wrappedCloser struct {
+	io.Reader
+	close func() error
+}
+
+// Close closes the decompressor and the underlying file.
+func (w *wrappedCloser) Close() error { return w.close() }
+
+func (c *Corpus) addRIBFile(path string) error {
+	f, err := openMRT(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := mrt.NewTableDumpScanner(f)
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("bgpintent: %s: %w", path, err)
+		}
+		c.store.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
+		c.store.NoteLarge(v.Entry.Attrs.LargeCommunities)
+	}
+}
+
+func (c *Corpus) addUpdatesFile(path string) error {
+	f, err := openMRT(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := mrt.NewUpdateScanner(f)
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("bgpintent: %s: %w", path, err)
+		}
+		if len(v.Update.NLRI) == 0 {
+			continue // pure withdrawals carry no tuple
+		}
+		c.store.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
+		c.store.NoteLarge(v.Update.Attrs.LargeCommunities)
+	}
+}
+
+// Tuples returns the number of unique (AS path, communities) tuples.
+func (c *Corpus) Tuples() int { return c.store.Len() }
+
+// Paths returns the number of unique AS paths.
+func (c *Corpus) Paths() int { return c.store.PathCount() }
+
+// LargeCommunities returns the number of distinct large (96-bit)
+// communities observed. The pipeline counts them but, like the paper,
+// classifies only regular communities.
+func (c *Corpus) LargeCommunities() int { return c.store.LargeCommunityCount() }
+
+// Communities returns the distinct observed communities.
+func (c *Corpus) Communities() []Community {
+	raw := c.store.Communities()
+	out := make([]Community, len(raw))
+	for i, r := range raw {
+		out[i] = Community{ASN: r.ASN(), Value: r.Value()}
+	}
+	return out
+}
+
+// VantagePoints returns the distinct vantage-point ASNs in the corpus.
+func (c *Corpus) VantagePoints() []uint32 { return c.store.VPSet() }
+
+// Classify runs the paper's inference pipeline over the corpus.
+func (c *Corpus) Classify(p Params) *Result {
+	opts := core.DefaultOptions()
+	if p.MinGap > 0 || p.RatioThreshold > 0 {
+		opts.MinGap = p.MinGap
+		opts.RatioThreshold = p.RatioThreshold
+	}
+	opts.Orgs = c.orgs
+	inf := core.Classify(c.store, opts)
+	return &Result{inf: inf}
+}
+
+// ExcludeReason explains why a community was not classified.
+type ExcludeReason string
+
+// Exclusion reasons.
+const (
+	ExcludedPrivateASN  ExcludeReason = "private-asn"
+	ExcludedNeverOnPath ExcludeReason = "never-on-path"
+)
+
+// Result holds the inferences for one corpus.
+type Result struct {
+	inf *core.Inferences
+}
+
+// Category returns the inferred label for a community.
+func (r *Result) Category(c Community) Category {
+	return fromDictCategory(r.inf.Category(c.wire()))
+}
+
+// Excluded returns the exclusion reason, if the community was seen but
+// deliberately left unclassified.
+func (r *Result) Excluded(c Community) (ExcludeReason, bool) {
+	reason, ok := r.inf.Excluded[c.wire()]
+	if !ok {
+		return "", false
+	}
+	return ExcludeReason(reason.String()), true
+}
+
+// Counts returns the number of action and information inferences.
+func (r *Result) Counts() (action, information int) {
+	return r.inf.Counts()
+}
+
+// Labeled returns every classified community with its label, sorted.
+func (r *Result) Labeled() []LabeledCommunity {
+	out := make([]LabeledCommunity, 0, len(r.inf.Labels))
+	for comm, cat := range r.inf.Labels {
+		out = append(out, LabeledCommunity{
+			Community: Community{ASN: comm.ASN(), Value: comm.Value()},
+			Category:  fromDictCategory(cat),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Community, out[j].Community
+		if a.ASN != b.ASN {
+			return a.ASN < b.ASN
+		}
+		return a.Value < b.Value
+	})
+	return out
+}
+
+// LabeledCommunity pairs a community with its inferred category.
+type LabeledCommunity struct {
+	Community Community
+	Category  Category
+}
+
+// Cluster is one inferred community cluster: the contiguous value range
+// one AS devotes to a single purpose, with the evidence behind its
+// label.
+type Cluster struct {
+	ASN      uint16
+	Lo, Hi   uint16
+	Category Category
+	Size     int // observed member communities
+	// OnPath/OffPath are the summed unique-path counts of the members.
+	OnPath, OffPath int
+}
+
+// Clusters returns every inferred cluster, sorted by (ASN, Lo) — the
+// coarse community dictionary structure the paper's Figure 4 shows.
+func (r *Result) Clusters() []Cluster {
+	out := make([]Cluster, 0, len(r.inf.Clusters))
+	for _, cl := range r.inf.Clusters {
+		c := Cluster{
+			ASN:      cl.Alpha,
+			Lo:       cl.Lo,
+			Hi:       cl.Hi,
+			Category: fromDictCategory(cl.Label),
+			Size:     len(cl.Members),
+		}
+		for _, m := range cl.Members {
+			c.OnPath += m.OnPath
+			c.OffPath += m.OffPath
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		return out[i].Lo < out[j].Lo
+	})
+	return out
+}
+
+// WriteTSV emits the inferences as "community<TAB>category" lines, the
+// shape of the paper's released inference dataset.
+func (r *Result) WriteTSV(w io.Writer) error {
+	for _, lc := range r.Labeled() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\n", lc.Community, lc.Category); err != nil {
+			return err
+		}
+	}
+	return nil
+}

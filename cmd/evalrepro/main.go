@@ -1,0 +1,147 @@
+// Command evalrepro regenerates the paper's tables and figures over a
+// synthetic corpus (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	evalrepro [-exp all|headline|fig4|fig6|fig7|fig9|fig10|days|months|tab1|ablation|seeds|fine]
+//	          [-scale tiny|default] [-seed N] [-days N] [-trials N] [-months N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"bgpintent/internal/corpus"
+	"bgpintent/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalrepro: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evalrepro", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		scale  = fs.String("scale", "default", "corpus scale: tiny, default or large")
+		seed   = fs.Int64("seed", 1, "corpus seed")
+		days   = fs.Int("days", 7, "days of data for corpus experiments")
+		trials = fs.Int("trials", 50, "trials for the vantage-point experiment")
+		months = fs.Int("months", 12, "months for the longitudinal experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := corpus.DefaultConfig()
+	switch *scale {
+	case "tiny":
+		cfg = corpus.TinyConfig()
+	case "large":
+		cfg.Scale = corpus.ScaleLarge
+	case "default":
+	default:
+		return fmt.Errorf("unknown -scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	cfg.Days = *days
+
+	wanted := strings.Split(*exp, ",")
+	known := map[string]bool{
+		"all": true, "headline": true, "fig4": true, "fig6": true, "fig7": true,
+		"fig9": true, "fig10": true, "days": true, "months": true, "tab1": true,
+		"ablation": true, "seeds": true, "fine": true,
+	}
+	for _, w := range wanted {
+		if !known[w] {
+			return fmt.Errorf("unknown experiment %q", w)
+		}
+	}
+	want := func(id string) bool {
+		for _, w := range wanted {
+			if w == "all" || w == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Experiments sharing one corpus.
+	needCorpus := false
+	for _, id := range []string{"headline", "fig4", "fig6", "fig7", "fig9", "fig10", "tab1", "ablation", "fine"} {
+		if want(id) {
+			needCorpus = true
+		}
+	}
+	var c *corpus.Corpus
+	if needCorpus {
+		var err error
+		fmt.Fprintf(stdout, "building corpus (scale=%s seed=%d days=%d)...\n", *scale, *seed, *days)
+		c, err = corpus.Build(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "corpus: %d tuples, %d paths, %d communities, %d VPs\n\n",
+			c.Store.Len(), c.Store.PathCount(), len(c.Store.Communities()), len(c.Store.VPSet()))
+	}
+
+	if want("headline") {
+		fmt.Fprintln(stdout, eval.Headline(c).Render())
+	}
+	if want("fig4") {
+		fmt.Fprintln(stdout, eval.Fig4(c).Render())
+	}
+	if want("fig6") {
+		fmt.Fprintln(stdout, eval.Fig6(c).Render())
+	}
+	if want("fig7") {
+		fmt.Fprintln(stdout, eval.Fig7(c).Render())
+	}
+	if want("fig9") {
+		fmt.Fprintln(stdout, eval.Fig9(c, nil).Render())
+	}
+	if want("fig10") {
+		fmt.Fprintln(stdout, eval.Fig10(c, nil, *trials, *seed).Render())
+	}
+	if want("tab1") {
+		fmt.Fprintln(stdout, eval.Table1(c).Render())
+	}
+	if want("ablation") {
+		fmt.Fprintln(stdout, eval.Ablations(c).Render())
+	}
+	if want("fine") {
+		fmt.Fprintln(stdout, eval.FineGrained(c).Render())
+	}
+	if want("days") {
+		r, err := eval.DaysSweep(cfg, *days)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Render())
+	}
+	if want("months") {
+		r, err := eval.MonthsSweep(cfg, *months)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Render())
+	}
+	if want("seeds") {
+		scfg := cfg
+		scfg.Days = 1
+		r, err := eval.SeedSweep(scfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Render())
+	}
+	return nil
+}

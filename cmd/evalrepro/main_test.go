@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunHeadlineTiny(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "headline", "-scale", "tiny", "-days", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== headline:") || !strings.Contains(s, "accuracy=") {
+		t.Errorf("output = %q", s)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig6,fig9", "-scale", "tiny", "-days", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== fig6:") || !strings.Contains(s, "== fig9:") {
+		t.Errorf("missing experiment sections in %q", s)
+	}
+	if strings.Contains(s, "== headline:") {
+		t.Error("ran an unrequested experiment")
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-exp", "nonsense"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-out", dir, "-scale", "tiny", "-days", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"rc00.day0.rib.mrt", "rc00.day0.updates.mrt",
+		"rc01.day0.rib.mrt", "as2org.txt", "dictionary.txt", "asrel.txt",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing output %s: %v", want, err)
+		}
+	}
+	if !strings.Contains(out.String(), "topology:") || !strings.Contains(out.String(), "wrote corpus") {
+		t.Errorf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Command intentinfer classifies BGP communities as action or
+// information from MRT data, implementing the paper's pipeline end to
+// end. RIB and updates files may be given as globs.
+//
+// Usage:
+//
+//	intentinfer -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
+//	            -as2org corpus/as2org.txt [-gap 140] [-ratio 160] [-o out.tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bgpintent"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("intentinfer: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("intentinfer", flag.ContinueOnError)
+	var (
+		ribGlob = fs.String("rib", "", "glob of TABLE_DUMP_V2 RIB files")
+		updGlob = fs.String("updates", "", "glob of BGP4MP updates files")
+		as2org  = fs.String("as2org", "", "as2org file (asn|org lines)")
+		gap     = fs.Int("gap", 140, "minimum gap between community clusters")
+		ratio   = fs.Float64("ratio", 160, "on-path:off-path ratio threshold")
+		outPath = fs.String("o", "", "write inferences as TSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ribs, err := expand(*ribGlob)
+	if err != nil {
+		return err
+	}
+	updates, err := expand(*updGlob)
+	if err != nil {
+		return err
+	}
+	if len(ribs)+len(updates) == 0 {
+		return fmt.Errorf("no input files; use -rib and/or -updates")
+	}
+
+	c, err := bgpintent.LoadMRTCorpus(ribs, updates, *as2org)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loaded %d unique tuples over %d unique AS paths from %d vantage points\n",
+		c.Tuples(), c.Paths(), len(c.VantagePoints()))
+	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large, not classified)\n",
+		len(c.Communities()), c.LargeCommunities())
+
+	res := c.Classify(bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio})
+	action, info := res.Counts()
+	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteTSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote inferences to %s\n", *outPath)
+	}
+	return nil
+}
+
+func expand(glob string) ([]string, error) {
+	if glob == "" {
+		return nil, nil
+	}
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("bad glob %q: %v", glob, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("glob %q matched no files", glob)
+	}
+	return files, nil
+}

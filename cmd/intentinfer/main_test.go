@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpintent/internal/corpus"
+)
+
+// writeTestCorpus emits one day of tiny-scale MRT files plus as2org.
+func writeTestCorpus(t *testing.T, dir string) {
+	t.Helper()
+	cfg := corpus.TinyConfig()
+	cfg.Days = 0
+	c, err := corpus.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Sim.RunDay(0)
+	for col := 0; col < c.Sim.Collectors(); col++ {
+		f, err := os.Create(filepath.Join(dir, "rc"+string(rune('0'+col))+".rib.mrt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Sim.WriteRIB(f, 1714521600, col, res); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	f, err := os.Create(filepath.Join(dir, "as2org.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Orgs.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	outTSV := filepath.Join(dir, "out.tsv")
+	var out bytes.Buffer
+	err := run([]string{
+		"-rib", filepath.Join(dir, "*.rib.mrt"),
+		"-as2org", filepath.Join(dir, "as2org.txt"),
+		"-o", outTSV,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "classified") {
+		t.Errorf("output = %q", out.String())
+	}
+	data, err := os.ReadFile(outTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Errorf("TSV has only %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "\t") {
+		t.Errorf("bad TSV line %q", lines[0])
+	}
+}
+
+func TestRunNoInputs(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no inputs accepted")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.mrt", "b.mrt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := expand(filepath.Join(dir, "*.mrt"))
+	if err != nil || len(files) != 2 {
+		t.Errorf("expand = %v, %v", files, err)
+	}
+	if _, err := expand(filepath.Join(dir, "*.nope")); err == nil {
+		t.Error("empty glob accepted")
+	}
+	if files, err := expand(""); err != nil || files != nil {
+		t.Errorf("empty pattern: %v %v", files, err)
+	}
+}

@@ -1,0 +1,128 @@
+// Command mrtdump inspects MRT files (TABLE_DUMP_V2 and BGP4MP), in the
+// spirit of bgpdump. Without -v it prints per-type record counts; with
+// -v it prints one line per route.
+//
+// Usage:
+//
+//	mrtdump [-v] file.mrt...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/mrt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrtdump: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mrtdump", flag.ContinueOnError)
+	verbose := fs.Bool("v", false, "print each route")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: mrtdump [-v] file.mrt...")
+	}
+	for _, path := range fs.Args() {
+		if err := dump(stdout, path, *verbose); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dump(stdout io.Writer, path string, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	counts := make(map[string]int)
+	r := mrt.NewReader(f)
+	var peers *mrt.PeerIndexTable
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		switch {
+		case rec.Type == mrt.TypeTableDumpV2 && rec.Subtype == mrt.SubtypePeerIndexTable:
+			counts["TABLE_DUMP_V2/PEER_INDEX_TABLE"]++
+			peers, err = mrt.ParsePeerIndexTable(rec.Body)
+			if err != nil {
+				return err
+			}
+			if verbose {
+				fmt.Fprintf(stdout, "PEER_INDEX_TABLE collector=%v view=%q peers=%d\n",
+					peers.CollectorBGPID, peers.ViewName, len(peers.Peers))
+			}
+		case rec.Type == mrt.TypeTableDumpV2 &&
+			(rec.Subtype == mrt.SubtypeRIBIPv4Unicast || rec.Subtype == mrt.SubtypeRIBIPv6Unicast):
+			counts["TABLE_DUMP_V2/RIB"]++
+			if !verbose {
+				continue
+			}
+			rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
+			if err != nil {
+				return err
+			}
+			for _, e := range rib.Entries {
+				peerASN := uint32(0)
+				if peers != nil && int(e.PeerIndex) < len(peers.Peers) {
+					peerASN = peers.Peers[e.PeerIndex].ASN
+				}
+				fmt.Fprintf(stdout, "RIB %v peer=AS%d path=[%s] comms=[%s]\n",
+					rib.Prefix, peerASN, e.Attrs.ASPath, e.Attrs.Communities)
+			}
+		case rec.Type == mrt.TypeBGP4MP || rec.Type == mrt.TypeBGP4MPET:
+			counts["BGP4MP"]++
+			if !verbose || rec.Subtype != mrt.SubtypeBGP4MPMessageAS4 {
+				continue
+			}
+			m, err := mrt.ParseBGP4MP(rec.Body)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "UPDATE t=%d peer=AS%d %s\n", rec.Timestamp, m.PeerAS, summarizeBGP(m.Message))
+		default:
+			counts[fmt.Sprintf("type=%d/subtype=%d", rec.Type, rec.Subtype)]++
+		}
+	}
+	fmt.Fprintf(stdout, "%s:\n", path)
+	for k, v := range counts {
+		fmt.Fprintf(stdout, "  %-40s %d\n", k, v)
+	}
+	return nil
+}
+
+func summarizeBGP(wire []byte) string {
+	upd, err := bgp.DecodeUpdate(wire)
+	if err != nil {
+		return fmt.Sprintf("(%v)", err)
+	}
+	out := ""
+	if len(upd.Withdrawn) > 0 {
+		out += fmt.Sprintf("withdraw=%v ", upd.Withdrawn)
+	}
+	if len(upd.NLRI) > 0 {
+		out += fmt.Sprintf("announce=%v path=[%s] comms=[%s]",
+			upd.NLRI, upd.Attrs.ASPath, upd.Attrs.Communities)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgpintent/internal/corpus"
+)
+
+func writeRIBFile(t *testing.T) string {
+	t.Helper()
+	cfg := corpus.TinyConfig()
+	cfg.Days = 0
+	c, err := corpus.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Sim.RunDay(0)
+	path := filepath.Join(t.TempDir(), "test.rib.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sim.WriteRIB(f, 1714521600, 0, res); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return path
+}
+
+func TestRunSummary(t *testing.T) {
+	path := writeRIBFile(t)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "TABLE_DUMP_V2/PEER_INDEX_TABLE") || !strings.Contains(s, "TABLE_DUMP_V2/RIB") {
+		t.Errorf("summary output = %q", s)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	path := writeRIBFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-v", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "PEER_INDEX_TABLE collector=") || !strings.Contains(s, "RIB ") {
+		t.Errorf("verbose output missing route lines: %.200q", s)
+	}
+	if !strings.Contains(s, "path=[") {
+		t.Error("verbose output missing AS paths")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.mrt"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Dictaudit shows the "central repository of community meanings" use
+// case from the paper's §3: operator documentation (the ground-truth
+// dictionary) covers only part of what is visible in BGP, and the
+// inference fills the coarse-grained gap for the rest — the first step
+// toward automatically maintained community dictionaries.
+//
+//	go run ./examples/dictaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"bgpintent"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building synthetic corpus...")
+	corpus, err := bgpintent.NewSyntheticCorpus(bgpintent.CorpusOptions{Small: true, Days: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "documentation": range regexes per AS, as collected from
+	// NLNOG/IRR/operator pages.
+	tsv, err := corpus.DictionaryTSV()
+	if err != nil {
+		log.Fatal(err)
+	}
+	type rule struct {
+		asn uint16
+		re  *regexp.Regexp
+	}
+	var rules []rule
+	for _, line := range strings.Split(strings.TrimSpace(tsv), "\n") {
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		asn, err := strconv.ParseUint(parts[0], 10, 16)
+		if err != nil {
+			continue
+		}
+		rules = append(rules, rule{asn: uint16(asn), re: regexp.MustCompile(parts[2])})
+	}
+	documented := func(c bgpintent.Community) bool {
+		s := strconv.Itoa(int(c.Value))
+		for _, r := range rules {
+			if r.asn == c.ASN && r.re.MatchString(s) {
+				return true
+			}
+		}
+		return false
+	}
+
+	result := corpus.Classify(bgpintent.DefaultParams())
+
+	var docCount, inferredOnly, neither int
+	byCat := map[bgpintent.Category]int{}
+	for _, comm := range corpus.Communities() {
+		doc := documented(comm)
+		cat := result.Category(comm)
+		switch {
+		case doc:
+			docCount++
+		case cat != bgpintent.Unknown:
+			inferredOnly++
+			byCat[cat]++
+		default:
+			neither++
+		}
+	}
+	total := docCount + inferredOnly + neither
+	fmt.Printf("\nobserved communities: %d\n", total)
+	fmt.Printf("  documented by operators:         %4d (%.1f%%)\n", docCount, pct(docCount, total))
+	fmt.Printf("  undocumented, intent inferred:   %4d (%.1f%%) — action=%d information=%d\n",
+		inferredOnly, pct(inferredOnly, total), byCat[bgpintent.Action], byCat[bgpintent.Information])
+	fmt.Printf("  undocumented and unclassifiable: %4d (%.1f%%)\n", neither, pct(neither, total))
+	fmt.Println("\nthe paper observed 78,480 undocumented communities across 5,491 ASNs in May")
+	fmt.Println("2023, against documentation for only 59 ASes — this inference is the first")
+	fmt.Println("automated step toward covering the rest.")
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,77 @@
+// Locfilter reproduces the paper's Table 1 scenario as an application:
+// a location-community inference (after Da Silva et al., SIGMETRICS'22)
+// produces false positives on traffic-engineering action communities,
+// and filtering with the coarse-grained intent classification removes
+// them, raising precision.
+//
+//	go run ./examples/locfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgpintent"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("building synthetic corpus...")
+	corpus, err := bgpintent.NewSyntheticCorpus(bgpintent.CorpusOptions{Small: true, Days: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the prior art — infer location communities in isolation.
+	locs, err := corpus.InferLocations()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("location method inferred %d location communities\n", len(locs))
+
+	// Step 2: classify intent and drop location inferences that are
+	// really action communities.
+	result := corpus.Classify(bgpintent.DefaultParams())
+	kept, dropped := result.FilterActions(locs)
+	fmt.Printf("intent filter kept %d, dropped %d action communities\n\n", len(kept), len(dropped))
+
+	// Score both sets against ground truth, Table 1 style.
+	score := func(name string, ls []bgpintent.LocationInference) {
+		var geo, te, other int
+		for _, l := range ls {
+			sub, err := corpus.GroundTruthSub(l.Community)
+			if err != nil {
+				log.Fatal(err)
+			}
+			truth, _ := corpus.GroundTruth(l.Community)
+			switch {
+			case sub == "location":
+				geo++
+			case truth == bgpintent.Action:
+				te++
+			default:
+				other++
+			}
+		}
+		precision := 0.0
+		if len(ls) > 0 {
+			precision = float64(geo) / float64(len(ls))
+		}
+		fmt.Printf("%-8s geolocation=%-4d traffic-engineering=%-4d other=%-4d precision=%.1f%%\n",
+			name, geo, te, other, 100*precision)
+	}
+	score("before", locs)
+	score("after", kept)
+	fmt.Println("\npaper's Table 1: precision 68.2% -> 94.8%, TE false positives 206 -> 12")
+
+	if len(dropped) > 0 {
+		fmt.Println("\nexamples of dropped traffic-engineering communities:")
+		for i, l := range dropped {
+			fmt.Printf("  %s\n", corpus.Describe(l.Community, result))
+			if i >= 4 {
+				break
+			}
+		}
+	}
+}

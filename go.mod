@@ -1,0 +1,3 @@
+module bgpintent
+
+go 1.22

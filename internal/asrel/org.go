@@ -1,0 +1,94 @@
+package asrel
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OrgMap maps ASNs to organization identifiers, the as2org dataset the
+// paper uses to make its on-path test sibling-aware.
+type OrgMap struct {
+	org map[uint32]string
+}
+
+// NewOrgMap returns an empty organization map.
+func NewOrgMap() *OrgMap {
+	return &OrgMap{org: make(map[uint32]string)}
+}
+
+// Set assigns an AS to an organization.
+func (m *OrgMap) Set(asn uint32, org string) { m.org[asn] = org }
+
+// Org returns the organization of asn, if known.
+func (m *OrgMap) Org(asn uint32) (string, bool) {
+	o, ok := m.org[asn]
+	return o, ok
+}
+
+// Siblings reports whether two distinct ASNs belong to the same known
+// organization.
+func (m *OrgMap) Siblings(a, b uint32) bool {
+	if a == b {
+		return false
+	}
+	oa, ok := m.org[a]
+	if !ok {
+		return false
+	}
+	ob, ok := m.org[b]
+	return ok && oa == ob
+}
+
+// Len returns the number of mapped ASNs.
+func (m *OrgMap) Len() int { return len(m.org) }
+
+// WriteTo serializes the map as asn|org lines.
+func (m *OrgMap) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	asns := make([]uint32, 0, len(m.org))
+	for asn := range m.org {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		n, err := fmt.Fprintf(bw, "%d|%s\n", asn, m.org[asn])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadOrgMap parses the WriteTo format. Lines beginning with '#' are
+// ignored.
+func ReadOrgMap(r io.Reader) (*OrgMap, error) {
+	m := NewOrgMap()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "|", 2)
+		if len(parts) != 2 || parts[1] == "" {
+			return nil, fmt.Errorf("asrel: org line %d: want asn|org", lineNo)
+		}
+		asn, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asrel: org line %d: bad ASN: %v", lineNo, err)
+		}
+		m.Set(uint32(asn), parts[1])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

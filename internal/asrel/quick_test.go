@@ -1,0 +1,72 @@
+package asrel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPairKeySymmetryQuick: the pair key ignores order; the lo-first flag
+// tracks it.
+func TestPairKeySymmetryQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		k1, lo1 := pairKey(a, b)
+		k2, lo2 := pairKey(b, a)
+		return k1 == k2 && lo1 != lo2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGraphRelSymmetryQuick: after SetP2C, exactly one side is the
+// provider, from both viewpoints.
+func TestGraphRelSymmetryQuick(t *testing.T) {
+	f := func(p, c uint32) bool {
+		if p == c {
+			return true
+		}
+		g := NewGraph()
+		g.SetP2C(p, c)
+		rel1, pProv, ok1 := g.Rel(p, c)
+		rel2, cProv, ok2 := g.Rel(c, p)
+		return ok1 && ok2 && rel1 == RelP2C && rel2 == RelP2C && pProv && !cProv &&
+			g.IsCustomerOf(c, p) && !g.IsCustomerOf(p, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInferNeverPanicsQuick: arbitrary path soup must not break the
+// inference.
+func TestInferNeverPanicsQuick(t *testing.T) {
+	f := func(raw [][]uint32) bool {
+		g := Infer(raw)
+		return g != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInferCoversAllAdjacencies: every adjacent pair in the input is
+// classified.
+func TestInferCoversAllAdjacencies(t *testing.T) {
+	paths := [][]uint32{
+		{1, 2, 3},
+		{4, 2, 5},
+		{3, 2, 1},
+		{6, 5, 2, 3},
+	}
+	g := Infer(paths)
+	for _, p := range paths {
+		for i := 1; i < len(p); i++ {
+			if _, _, ok := g.Rel(p[i-1], p[i]); !ok {
+				t.Fatalf("pair %d-%d unclassified", p[i-1], p[i])
+			}
+		}
+	}
+}

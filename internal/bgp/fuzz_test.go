@@ -1,0 +1,55 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeUpdateNeverPanics feeds random corruptions of a valid UPDATE
+// through the decoder: every outcome must be a clean error or a decode,
+// never a panic or out-of-range access.
+func TestDecodeUpdateNeverPanics(t *testing.T) {
+	base := &UpdateMessage{
+		Withdrawn: []Prefix{MustParsePrefix("10.1.0.0/16")},
+		Attrs:     testAttrs(),
+		NLRI:      []Prefix{MustParsePrefix("192.0.2.0/24")},
+	}
+	wire, err := base.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 5000; trial++ {
+		buf := append([]byte(nil), wire...)
+		// Corrupt 1-8 random bytes.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		// Random truncation half the time.
+		if rng.Intn(2) == 0 {
+			buf = buf[:rng.Intn(len(buf)+1)]
+		}
+		_, _ = DecodeUpdate(buf) // must not panic
+	}
+}
+
+// TestDecodeUpdateRandomBytes drives the decoder with pure noise.
+func TestDecodeUpdateRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3000; trial++ {
+		buf := make([]byte, rng.Intn(256))
+		rng.Read(buf)
+		_, _ = DecodeUpdate(buf)
+	}
+}
+
+// TestDecodeAttrsRandomBytes drives the attribute parser with noise.
+func TestDecodeAttrsRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		buf := make([]byte, rng.Intn(128))
+		rng.Read(buf)
+		var a PathAttributes
+		_ = DecodeAttrs(buf, &a)
+	}
+}

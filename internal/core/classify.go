@@ -1,0 +1,362 @@
+package core
+
+import (
+	"sort"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+)
+
+// Options configure the classifier. The defaults are the paper's
+// operating point (§5.2, Fig. 9): a minimum gap of 140 between clusters
+// and an on-path:off-path ratio threshold of 160:1.
+type Options struct {
+	// MinGap is the maximum distance between adjacent β values inside one
+	// cluster; 0 disables clustering (each community considered alone).
+	MinGap int
+
+	// RatioThreshold is the on-path:off-path ratio at or above which a
+	// mixed cluster is labeled information.
+	RatioThreshold float64
+
+	// Orgs enables sibling-aware on-path matching (as2org); nil disables
+	// it.
+	Orgs OrgMapper
+
+	// VPFilter restricts the dataset to tuples observed by these vantage
+	// points; nil means all.
+	VPFilter map[uint32]bool
+
+	// DisableExclusions classifies private-ASN and never-on-path
+	// communities anyway (ablation).
+	DisableExclusions bool
+
+	// PooledRatio computes a cluster's ratio as sum(on)/sum(off) instead
+	// of the paper's mean of per-community ratios (ablation).
+	PooledRatio bool
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{MinGap: 140, RatioThreshold: 160}
+}
+
+// ExcludeReason says why a community was left unclassified (§5.2).
+type ExcludeReason int8
+
+const (
+	// ExcludePrivateASN: the α half is in the private/reserved 16-bit
+	// ASN range, so no public AS can be identified.
+	ExcludePrivateASN ExcludeReason = iota + 1
+	// ExcludeNeverOnPath: neither α nor any sibling appears in any AS
+	// path (IXP route servers and other transparent taggers).
+	ExcludeNeverOnPath
+)
+
+// String names the reason for reports.
+func (r ExcludeReason) String() string {
+	switch r {
+	case ExcludePrivateASN:
+		return "private-asn"
+	case ExcludeNeverOnPath:
+		return "never-on-path"
+	default:
+		return "none"
+	}
+}
+
+// CommunityStats holds a community's unique-path observation counts.
+type CommunityStats struct {
+	Comm    bgp.Community
+	OnPath  int // unique AS paths containing α (or a sibling)
+	OffPath int // unique AS paths not containing it
+}
+
+// Ratio is the on-path:off-path ratio; with no off-path observations the
+// denominator is clamped to one so the ratio stays finite (the paper
+// handles never-off-path clusters by rule before ratios are consulted).
+func (cs CommunityStats) Ratio() float64 {
+	off := cs.OffPath
+	if off == 0 {
+		off = 1
+	}
+	return float64(cs.OnPath) / float64(off)
+}
+
+// Cluster is a contiguous range of one AS's β values with its inferred
+// label.
+type Cluster struct {
+	Alpha   uint16
+	Lo, Hi  uint16
+	Members []CommunityStats
+
+	// PureOnPath / PureOffPath mark clusters never observed off-path /
+	// on-path; Ratio is meaningful for mixed clusters.
+	PureOnPath  bool
+	PureOffPath bool
+	Ratio       float64
+
+	Label dict.Category
+}
+
+// Inferences is the classifier output.
+type Inferences struct {
+	Labels   map[bgp.Community]dict.Category
+	Clusters []Cluster
+	Excluded map[bgp.Community]ExcludeReason
+	Opts     Options
+}
+
+// Category returns the inferred label of a community (CatUnknown when
+// excluded or unobserved).
+func (inf *Inferences) Category(c bgp.Community) dict.Category {
+	return inf.Labels[c]
+}
+
+// Counts returns how many communities were inferred action and
+// information.
+func (inf *Inferences) Counts() (action, info int) {
+	for _, cat := range inf.Labels {
+		switch cat {
+		case dict.CatAction:
+			action++
+		case dict.CatInformation:
+			info++
+		}
+	}
+	return action, info
+}
+
+// ObservationSet is the per-community measurement the classifier (and
+// the evaluation's baseline-cluster analyses) build on.
+type ObservationSet struct {
+	Stats map[bgp.Community]*CommunityStats
+
+	asnOnPath map[uint32]bool
+	orgOnPath map[string]bool
+	orgs      OrgMapper
+}
+
+// AlphaOnPath reports whether α (or an org sibling) appears in any AS
+// path of the observed dataset.
+func (os *ObservationSet) AlphaOnPath(alpha uint32) bool {
+	if os.asnOnPath[alpha] {
+		return true
+	}
+	if os.orgs != nil {
+		if org, ok := os.orgs.Org(alpha); ok && os.orgOnPath[org] {
+			return true
+		}
+	}
+	return false
+}
+
+// Observe computes per-community on/off-path statistics over unique AS
+// paths, honoring the VP filter and sibling awareness in opts.
+func Observe(ts *TupleStore, opts Options) *ObservationSet {
+	os := &ObservationSet{
+		Stats:     make(map[bgp.Community]*CommunityStats),
+		asnOnPath: make(map[uint32]bool),
+		orgOnPath: make(map[string]bool),
+		orgs:      opts.Orgs,
+	}
+
+	// Collect, per community, the IDs of unique paths it appeared on.
+	commPaths := make(map[bgp.Community][]int32)
+	pathSeen := make(map[int32]bool)
+	for _, t := range ts.Tuples() {
+		if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
+			continue
+		}
+		if !pathSeen[t.PathID] {
+			pathSeen[t.PathID] = true
+			info := ts.Path(t.PathID)
+			for _, asn := range info.ASNs {
+				os.asnOnPath[asn] = true
+			}
+			for _, org := range info.Orgs {
+				os.orgOnPath[org] = true
+			}
+		}
+		for _, c := range t.Comms {
+			commPaths[c] = append(commPaths[c], t.PathID)
+		}
+	}
+
+	for c, ids := range commPaths {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		alpha := uint32(c.ASN())
+		var alphaOrg string
+		var haveOrg bool
+		if opts.Orgs != nil {
+			alphaOrg, haveOrg = opts.Orgs.Org(alpha)
+		}
+		st := &CommunityStats{Comm: c}
+		var prev int32 = -1
+		for _, id := range ids {
+			if id == prev {
+				continue
+			}
+			prev = id
+			info := ts.Path(id)
+			on := containsASN(info.ASNs, alpha)
+			if !on && haveOrg {
+				on = containsOrg(info.Orgs, alphaOrg)
+			}
+			if on {
+				st.OnPath++
+			} else {
+				st.OffPath++
+			}
+		}
+		os.Stats[c] = st
+	}
+	return os
+}
+
+// Classify runs the full §5.2 pipeline: observe, exclude, cluster per
+// AS, label clusters by on-path:off-path ratio, and apply the labels to
+// communities.
+func Classify(ts *TupleStore, opts Options) *Inferences {
+	return ClassifyObserved(Observe(ts, opts), opts)
+}
+
+// ClassifyObserved runs the pipeline on precomputed observations, so
+// parameter sweeps (e.g. the Fig. 9 gap sweep) do not recount paths.
+// The opts must use the same VPFilter and Orgs the observations were
+// built with.
+func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
+	inf := &Inferences{
+		Labels:   make(map[bgp.Community]dict.Category),
+		Excluded: make(map[bgp.Community]ExcludeReason),
+		Opts:     opts,
+	}
+
+	// Group observed β values by α.
+	byAlpha := make(map[uint16][]uint16)
+	for c := range os.Stats {
+		byAlpha[c.ASN()] = append(byAlpha[c.ASN()], c.Value())
+	}
+	alphas := make([]uint16, 0, len(byAlpha))
+	for a := range byAlpha {
+		alphas = append(alphas, a)
+	}
+	sort.Slice(alphas, func(i, j int) bool { return alphas[i] < alphas[j] })
+
+	for _, alpha := range alphas {
+		betas := byAlpha[alpha]
+		sort.Slice(betas, func(i, j int) bool { return betas[i] < betas[j] })
+
+		if !opts.DisableExclusions {
+			var reason ExcludeReason
+			switch {
+			case bgp.NewCommunity(alpha, 0).IsPrivateASN():
+				reason = ExcludePrivateASN
+			case !os.AlphaOnPath(uint32(alpha)):
+				reason = ExcludeNeverOnPath
+			}
+			if reason != 0 {
+				for _, b := range betas {
+					inf.Excluded[bgp.NewCommunity(alpha, b)] = reason
+				}
+				continue
+			}
+		}
+
+		for _, idx := range clusterIndexes(betas, opts.MinGap) {
+			members := make([]CommunityStats, 0, idx[1]-idx[0])
+			for _, b := range betas[idx[0]:idx[1]] {
+				members = append(members, *os.Stats[bgp.NewCommunity(alpha, b)])
+			}
+			cl := labelCluster(alpha, members, opts)
+			inf.Clusters = append(inf.Clusters, cl)
+			for _, m := range cl.Members {
+				inf.Labels[m.Comm] = cl.Label
+			}
+		}
+	}
+	return inf
+}
+
+// clusterIndexes splits a sorted β list into [start, end) cluster index
+// pairs using the minimum-gap rule.
+func clusterIndexes(betas []uint16, minGap int) [][2]int {
+	var out [][2]int
+	start := 0
+	for i := 1; i <= len(betas); i++ {
+		if i == len(betas) || int(betas[i])-int(betas[i-1]) > minGap {
+			out = append(out, [2]int{start, i})
+			start = i
+		}
+	}
+	return out
+}
+
+// labelCluster applies the §5.2 decision rule: never off-path or ratio
+// at/above threshold -> information; always off-path or ratio below ->
+// action. The mixed-cluster ratio is the mean of the member ratios (or
+// the pooled ratio under the ablation option).
+func labelCluster(alpha uint16, members []CommunityStats, opts Options) Cluster {
+	cl := Cluster{
+		Alpha:   alpha,
+		Lo:      members[0].Comm.Value(),
+		Hi:      members[len(members)-1].Comm.Value(),
+		Members: members,
+	}
+	onTotal, offTotal := 0, 0
+	ratioSum := 0.0
+	for _, m := range members {
+		onTotal += m.OnPath
+		offTotal += m.OffPath
+		ratioSum += m.Ratio()
+	}
+	cl.PureOnPath = offTotal == 0
+	cl.PureOffPath = onTotal == 0
+	if opts.PooledRatio {
+		off := offTotal
+		if off == 0 {
+			off = 1
+		}
+		cl.Ratio = float64(onTotal) / float64(off)
+	} else {
+		cl.Ratio = ratioSum / float64(len(members))
+	}
+	switch {
+	case cl.PureOnPath:
+		cl.Label = dict.CatInformation
+	case cl.PureOffPath:
+		cl.Label = dict.CatAction
+	case cl.Ratio >= opts.RatioThreshold:
+		cl.Label = dict.CatInformation
+	default:
+		cl.Label = dict.CatAction
+	}
+	return cl
+}
+
+func anyVP(vps []uint32, filter map[uint32]bool) bool {
+	for _, vp := range vps {
+		if filter[vp] {
+			return true
+		}
+	}
+	return false
+}
+
+func containsASN(asns []uint32, asn uint32) bool {
+	for _, a := range asns {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+func containsOrg(orgs []string, org string) bool {
+	for _, o := range orgs {
+		if o == org {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"bgpintent/internal/bgp"
+)
+
+// RelLookup resolves inferred AS relationships (satisfied by
+// asrel.Graph).
+type RelLookup interface {
+	IsCustomerOf(customer, provider uint32) bool
+	IsPeer(a, b uint32) bool
+}
+
+// CustPeerStats counts, for one community α:β over unique on-path AS
+// paths, how often the AS after α in the path (the neighbor α learned
+// the route from) is an inferred customer versus peer of α — the §5.1
+// customer:peer feature of Figure 7.
+type CustPeerStats struct {
+	Comm     bgp.Community
+	Customer int
+	Peer     int
+}
+
+// Ratio is the customer:peer ratio with the denominator clamped to one.
+func (cp CustPeerStats) Ratio() float64 {
+	peer := cp.Peer
+	if peer == 0 {
+		peer = 1
+	}
+	return float64(cp.Customer) / float64(peer)
+}
+
+// CustomerPeer computes customer:peer statistics for every observed
+// community, using the same VP filtering as Observe.
+func CustomerPeer(ts *TupleStore, opts Options, rels RelLookup) map[bgp.Community]*CustPeerStats {
+	out := make(map[bgp.Community]*CustPeerStats)
+	commPaths := make(map[bgp.Community][]int32)
+	for _, t := range ts.Tuples() {
+		if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
+			continue
+		}
+		for _, c := range t.Comms {
+			commPaths[c] = append(commPaths[c], t.PathID)
+		}
+	}
+	for c, ids := range commPaths {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		alpha := uint32(c.ASN())
+		st := &CustPeerStats{Comm: c}
+		var prev int32 = -1
+		for _, id := range ids {
+			if id == prev {
+				continue
+			}
+			prev = id
+			asns := ts.Path(id).ASNs
+			for i, asn := range asns {
+				if asn != alpha || i+1 >= len(asns) {
+					continue
+				}
+				next := asns[i+1]
+				switch {
+				case rels.IsCustomerOf(next, alpha):
+					st.Customer++
+				case rels.IsPeer(next, alpha):
+					st.Peer++
+				}
+				break
+			}
+		}
+		if st.Customer+st.Peer > 0 {
+			out[c] = st
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bgpintent/internal/bgp"
+)
+
+// TestClusterIndexesQuick: for random sorted β lists and gaps, the
+// clustering must partition the list into contiguous, ordered segments
+// whose internal adjacent gaps are <= gap and whose boundary gaps are
+// > gap.
+func TestClusterIndexesQuick(t *testing.T) {
+	f := func(raw []uint16, gap uint8) bool {
+		betas := append([]uint16(nil), raw...)
+		sort.Slice(betas, func(i, j int) bool { return betas[i] < betas[j] })
+		// clusterIndexes expects deduplicated input like Classify builds.
+		betas = dedupU16(betas)
+		g := int(gap)
+		idx := clusterIndexes(betas, g)
+		if len(betas) == 0 {
+			return len(idx) == 0
+		}
+		// Partition: contiguous cover of [0, len).
+		pos := 0
+		for _, pair := range idx {
+			if pair[0] != pos || pair[1] <= pair[0] {
+				return false
+			}
+			pos = pair[1]
+		}
+		if pos != len(betas) {
+			return false
+		}
+		// Gap property.
+		for _, pair := range idx {
+			for i := pair[0] + 1; i < pair[1]; i++ {
+				if int(betas[i])-int(betas[i-1]) > g {
+					return false
+				}
+			}
+		}
+		for k := 1; k < len(idx); k++ {
+			lo := betas[idx[k][0]]
+			hi := betas[idx[k-1][1]-1]
+			if int(lo)-int(hi) <= g {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupU16(v []uint16) []uint16 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestTupleStoreQuick: adding random views never loses communities, and
+// tuple count is bounded by view count.
+func TestTupleStoreQuick(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		ts := NewTupleStore()
+		views := 0
+		want := make(map[bgp.Community]bool)
+		for _, s := range seeds {
+			vp := 1 + s%7
+			path := []uint32{vp, 100 + s%5, 1000 + s%13}
+			comm := bgp.NewCommunity(uint16(100+s%5), uint16(s%50))
+			ts.AddView(vp, path, bgp.Communities{comm})
+			want[comm] = true
+			views++
+		}
+		if ts.Len() > views {
+			return false
+		}
+		got := make(map[bgp.Community]bool)
+		for _, c := range ts.Communities() {
+			got[c] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for c := range want {
+			if !got[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCommunityStatsRatioQuick: the ratio is finite, non-negative and
+// monotone in OnPath.
+func TestCommunityStatsRatioQuick(t *testing.T) {
+	f := func(on, off uint16) bool {
+		a := CommunityStats{OnPath: int(on), OffPath: int(off)}
+		b := CommunityStats{OnPath: int(on) + 1, OffPath: int(off)}
+		if a.Ratio() < 0 {
+			return false
+		}
+		return b.Ratio() > a.Ratio()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClassifyLabelsSubsetOfObserved: every label refers to an observed
+// community and no community is both labeled and excluded.
+func TestClassifyLabelsSubsetOfObserved(t *testing.T) {
+	ts := buildSyntheticStore()
+	inf := Classify(ts, DefaultOptions())
+	observed := make(map[bgp.Community]bool)
+	for _, c := range ts.Communities() {
+		observed[c] = true
+	}
+	for c := range inf.Labels {
+		if !observed[c] {
+			t.Fatalf("label for unobserved community %v", c)
+		}
+		if _, dual := inf.Excluded[c]; dual {
+			t.Fatalf("%v both labeled and excluded", c)
+		}
+	}
+	for c := range inf.Excluded {
+		if !observed[c] {
+			t.Fatalf("exclusion for unobserved community %v", c)
+		}
+	}
+	if len(inf.Labels)+len(inf.Excluded) != len(observed) {
+		t.Fatalf("labels(%d)+excluded(%d) != observed(%d)",
+			len(inf.Labels), len(inf.Excluded), len(observed))
+	}
+}
+
+// TestClusterMembersMatchLabels: each cluster's members carry the
+// cluster's label in the final map.
+func TestClusterMembersMatchLabels(t *testing.T) {
+	ts := buildSyntheticStore()
+	inf := Classify(ts, DefaultOptions())
+	for _, cl := range inf.Clusters {
+		if cl.Lo > cl.Hi {
+			t.Fatalf("inverted cluster %+v", cl)
+		}
+		for _, m := range cl.Members {
+			if m.Comm.ASN() != cl.Alpha {
+				t.Fatalf("cluster %d has member %v", cl.Alpha, m.Comm)
+			}
+			if v := m.Comm.Value(); v < cl.Lo || v > cl.Hi {
+				t.Fatalf("member %v outside cluster [%d,%d]", m.Comm, cl.Lo, cl.Hi)
+			}
+			if inf.Labels[m.Comm] != cl.Label {
+				t.Fatalf("member %v label %v != cluster label %v", m.Comm, inf.Labels[m.Comm], cl.Label)
+			}
+		}
+	}
+}

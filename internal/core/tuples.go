@@ -1,0 +1,214 @@
+// Package core implements the paper's contribution: classifying BGP
+// communities as action or information. The pipeline mirrors §5.2 —
+// extract unique (AS path, communities) tuples from BGP data, cluster
+// each AS's observed β values by a minimum gap, compute each cluster's
+// on-path:off-path ratio, and label the cluster's communities.
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"bgpintent/internal/bgp"
+)
+
+// PathInfo is one interned AS path.
+type PathInfo struct {
+	ASNs []uint32 // distinct ASNs on the path, in first-appearance order
+	Orgs []string // distinct organizations of those ASNs (when mapped)
+}
+
+// Tuple is one unique (AS path, communities) observation with the
+// vantage points that reported it.
+type Tuple struct {
+	PathID int32
+	Comms  bgp.Communities // canonical (sorted, deduplicated)
+	VPs    []uint32        // sorted distinct vantage points
+}
+
+// TupleStore interns AS paths and deduplicates (path, communities)
+// tuples, the §4 data reduction (the paper extracts ≈174M such tuples
+// from one week of RouteViews/RIS data).
+type TupleStore struct {
+	paths    []PathInfo
+	pathIDs  map[string]int32
+	tuples   []*Tuple
+	tupleIdx map[string]int32
+
+	// large counts distinct large (96-bit) communities seen alongside the
+	// regular ones. The paper records their prevalence (11,524 vs 88,982
+	// regular in May 2023) and defers their classification; so do we.
+	large map[bgp.LargeCommunity]struct{}
+}
+
+// NewTupleStore returns an empty store.
+func NewTupleStore() *TupleStore {
+	return &TupleStore{
+		pathIDs:  make(map[string]int32),
+		tupleIdx: make(map[string]int32),
+		large:    make(map[bgp.LargeCommunity]struct{}),
+	}
+}
+
+// NoteLarge records large communities for the corpus statistics; they
+// are not classified.
+func (ts *TupleStore) NoteLarge(ls bgp.LargeCommunities) {
+	for _, lc := range ls {
+		ts.large[lc] = struct{}{}
+	}
+}
+
+// LargeCommunityCount returns the number of distinct large communities
+// noted.
+func (ts *TupleStore) LargeCommunityCount() int { return len(ts.large) }
+
+// pathKey renders a path (with prepending collapsed) to a compact binary
+// key.
+func pathKey(path []uint32) string {
+	buf := make([]byte, 0, 4*len(path))
+	var prev uint32
+	for i, asn := range path {
+		if i > 0 && asn == prev {
+			continue
+		}
+		prev = asn
+		buf = binary.LittleEndian.AppendUint32(buf, asn)
+	}
+	return string(buf)
+}
+
+// commsKey renders canonical communities to a compact binary key.
+func commsKey(comms bgp.Communities) string {
+	buf := make([]byte, 0, 4*len(comms))
+	for _, c := range comms {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+	}
+	return string(buf)
+}
+
+// internPath returns the path ID for a (prepend-collapsed) path,
+// creating it if new. Distinct ASNs are recorded once.
+func (ts *TupleStore) internPath(path []uint32) int32 {
+	key := pathKey(path)
+	if id, ok := ts.pathIDs[key]; ok {
+		return id
+	}
+	id := int32(len(ts.paths))
+	seen := make(map[uint32]struct{}, len(path))
+	info := PathInfo{ASNs: make([]uint32, 0, len(path))}
+	for _, asn := range path {
+		if _, dup := seen[asn]; dup {
+			continue
+		}
+		seen[asn] = struct{}{}
+		info.ASNs = append(info.ASNs, asn)
+	}
+	ts.paths = append(ts.paths, info)
+	ts.pathIDs[key] = id
+	return id
+}
+
+// AddView records one vantage-point observation. The communities are
+// canonicalized; observations differing only in VP collapse into one
+// tuple. Paths and communities may be reused by the caller; the store
+// copies what it keeps.
+func (ts *TupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
+	if len(path) == 0 {
+		return
+	}
+	id := ts.internPath(path)
+	canon := comms.Canonical()
+	key := pathKey(path) + "\x00" + commsKey(canon)
+	if ti, ok := ts.tupleIdx[key]; ok {
+		t := ts.tuples[ti]
+		pos := sort.Search(len(t.VPs), func(i int) bool { return t.VPs[i] >= vp })
+		if pos == len(t.VPs) || t.VPs[pos] != vp {
+			t.VPs = append(t.VPs, 0)
+			copy(t.VPs[pos+1:], t.VPs[pos:])
+			t.VPs[pos] = vp
+		}
+		return
+	}
+	t := &Tuple{PathID: id, Comms: canon, VPs: []uint32{vp}}
+	ts.tupleIdx[key] = int32(len(ts.tuples))
+	ts.tuples = append(ts.tuples, t)
+}
+
+// Len returns the number of unique tuples.
+func (ts *TupleStore) Len() int { return len(ts.tuples) }
+
+// PathCount returns the number of interned unique paths.
+func (ts *TupleStore) PathCount() int { return len(ts.paths) }
+
+// Path returns the interned path info for a tuple's PathID.
+func (ts *TupleStore) Path(id int32) *PathInfo { return &ts.paths[id] }
+
+// Tuples returns the tuple list (shared storage; do not mutate).
+func (ts *TupleStore) Tuples() []*Tuple { return ts.tuples }
+
+// VPSet returns the distinct vantage points across all tuples.
+func (ts *TupleStore) VPSet() []uint32 {
+	set := make(map[uint32]struct{})
+	for _, t := range ts.tuples {
+		for _, vp := range t.VPs {
+			set[vp] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, len(set))
+	for vp := range set {
+		out = append(out, vp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Communities returns the distinct communities across all tuples, sorted.
+func (ts *TupleStore) Communities() []bgp.Community {
+	set := make(map[bgp.Community]struct{})
+	for _, t := range ts.tuples {
+		for _, c := range t.Comms {
+			set[c] = struct{}{}
+		}
+	}
+	out := make([]bgp.Community, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllPaths returns every interned path's distinct-ASN sequence (shared
+// storage; do not mutate). Suitable input for AS-relationship inference.
+func (ts *TupleStore) AllPaths() [][]uint32 {
+	out := make([][]uint32, len(ts.paths))
+	for i := range ts.paths {
+		out[i] = ts.paths[i].ASNs
+	}
+	return out
+}
+
+// OrgMapper resolves an ASN to its organization, the as2org sibling
+// context (§4).
+type OrgMapper interface {
+	Org(asn uint32) (string, bool)
+}
+
+// AnnotateOrgs fills each interned path's organization list using the
+// mapper. Call once after loading all data and before classification
+// when sibling awareness is wanted.
+func (ts *TupleStore) AnnotateOrgs(orgs OrgMapper) {
+	for i := range ts.paths {
+		p := &ts.paths[i]
+		p.Orgs = p.Orgs[:0]
+		seen := make(map[string]struct{}, len(p.ASNs))
+		for _, asn := range p.ASNs {
+			if org, ok := orgs.Org(asn); ok {
+				if _, dup := seen[org]; !dup {
+					seen[org] = struct{}{}
+					p.Orgs = append(p.Orgs, org)
+				}
+			}
+		}
+	}
+}

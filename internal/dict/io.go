@@ -1,0 +1,74 @@
+package dict
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serializes the dictionary as a tab-separated text file, one
+// entry per line (the pattern comes last because it may contain any
+// character except a tab):
+//
+//	# comment
+//	<asn>\t<subcategory>\t<pattern>
+//
+// the same spirit as the NLNOG community-to-text mappings the paper
+// collects.
+func (d *Dictionary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	asns := make([]uint32, 0, len(d.byASN))
+	for asn := range d.byASN {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, asn := range asns {
+		for _, e := range d.byASN[asn] {
+			n, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", e.ASN, e.Sub, e.Pattern)
+			written += int64(n)
+			if err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadDictionary parses the WriteTo format. Blank lines and lines
+// beginning with '#' are ignored.
+func ReadDictionary(r io.Reader) (*Dictionary, error) {
+	d := NewDictionary()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("dict: line %d: want 3 fields, have %d", lineNo, len(parts))
+		}
+		asn, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dict: line %d: bad ASN: %v", lineNo, err)
+		}
+		sub, ok := ParseSubCategory(parts[1])
+		if !ok {
+			return nil, fmt.Errorf("dict: line %d: unknown subcategory %q", lineNo, parts[1])
+		}
+		if err := d.Add(&Entry{ASN: uint32(asn), Pattern: parts[2], Sub: sub}); err != nil {
+			return nil, fmt.Errorf("dict: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

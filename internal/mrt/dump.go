@@ -1,0 +1,233 @@
+package mrt
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+
+	"bgpintent/internal/bgp"
+)
+
+// TableDumpWriter writes a complete TABLE_DUMP_V2 snapshot: a
+// PEER_INDEX_TABLE record followed by one RIB record per prefix, the
+// layout RouteViews and RIS use for their rib files.
+type TableDumpWriter struct {
+	w   *Writer
+	ts  uint32
+	seq uint32
+}
+
+// NewTableDumpWriter writes the peer index table immediately and returns
+// a writer for the RIB records that follow.
+func NewTableDumpWriter(w io.Writer, timestamp uint32, table *PeerIndexTable) (*TableDumpWriter, error) {
+	tw := &TableDumpWriter{w: NewWriter(w), ts: timestamp}
+	if err := tw.w.WriteRecord(timestamp, TypeTableDumpV2, SubtypePeerIndexTable, table.Encode()); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// WriteRIB emits one RIB record for prefix with the given vantage-point
+// entries, assigning the next sequence number.
+func (tw *TableDumpWriter) WriteRIB(prefix bgp.Prefix, entries []RIBEntry) error {
+	subtype := SubtypeRIBIPv4Unicast
+	if prefix.Addr().Is6() && !prefix.Addr().Is4In6() {
+		subtype = SubtypeRIBIPv6Unicast
+	}
+	rib := RIB{SequenceNumber: tw.seq, Prefix: prefix, Entries: entries}
+	tw.seq++
+	body, err := rib.Encode()
+	if err != nil {
+		return err
+	}
+	return tw.w.WriteRecord(tw.ts, TypeTableDumpV2, subtype, body)
+}
+
+// Flush flushes buffered output.
+func (tw *TableDumpWriter) Flush() error { return tw.w.Flush() }
+
+// RIBView is one vantage point's route for one prefix, with the peer
+// resolved through the index table: the unit the inference pipeline
+// consumes.
+type RIBView struct {
+	Peer   Peer
+	Prefix bgp.Prefix
+	Entry  RIBEntry
+}
+
+// TableDumpScanner streams RIBViews out of a TABLE_DUMP_V2 file,
+// resolving peer indexes against the PEER_INDEX_TABLE. Records of other
+// types are skipped.
+type TableDumpScanner struct {
+	r       *Reader
+	table   *PeerIndexTable
+	current *RIB
+	pos     int
+	err     error
+}
+
+// NewTableDumpScanner wraps an MRT stream.
+func NewTableDumpScanner(r io.Reader) *TableDumpScanner {
+	return &TableDumpScanner{r: NewReader(r)}
+}
+
+// PeerTable returns the peer index table, once one has been read.
+func (s *TableDumpScanner) PeerTable() *PeerIndexTable { return s.table }
+
+// Next returns the next RIBView, or io.EOF at end of stream.
+func (s *TableDumpScanner) Next() (*RIBView, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		if s.current != nil && s.pos < len(s.current.Entries) {
+			e := s.current.Entries[s.pos]
+			s.pos++
+			if s.table == nil || int(e.PeerIndex) >= len(s.table.Peers) {
+				s.err = fmt.Errorf("mrt: RIB entry references peer index %d outside table", e.PeerIndex)
+				return nil, s.err
+			}
+			return &RIBView{
+				Peer:   s.table.Peers[e.PeerIndex],
+				Prefix: s.current.Prefix,
+				Entry:  e,
+			}, nil
+		}
+		rec, err := s.r.Next()
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if rec.Type != TypeTableDumpV2 {
+			continue
+		}
+		switch rec.Subtype {
+		case SubtypePeerIndexTable:
+			t, err := ParsePeerIndexTable(rec.Body)
+			if err != nil {
+				s.err = err
+				return nil, err
+			}
+			s.table = t
+		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+			rib, err := ParseRIB(rec.Subtype, rec.Body)
+			if err != nil {
+				s.err = err
+				return nil, err
+			}
+			s.current = rib
+			s.pos = 0
+		default:
+			// Other TABLE_DUMP_V2 subtypes (multicast, generic) skipped.
+		}
+	}
+}
+
+// UpdateWriter writes BGP4MP_MESSAGE_AS4 records, the layout of
+// RouteViews/RIS updates files.
+type UpdateWriter struct {
+	w *Writer
+}
+
+// NewUpdateWriter returns a writer for BGP4MP update records.
+func NewUpdateWriter(w io.Writer) *UpdateWriter {
+	return &UpdateWriter{w: NewWriter(w)}
+}
+
+// WriteUpdate encodes msg and emits it as one BGP4MP_MESSAGE_AS4 record
+// observed from the given peer session.
+func (uw *UpdateWriter) WriteUpdate(timestamp uint32, peerAS, localAS uint32, peerAddr, localAddr netip.Addr, msg *bgp.UpdateMessage) error {
+	wire, err := msg.Encode()
+	if err != nil {
+		return err
+	}
+	rec := BGP4MPMessage{
+		PeerAS:    peerAS,
+		LocalAS:   localAS,
+		PeerAddr:  peerAddr,
+		LocalAddr: localAddr,
+		Message:   wire,
+	}
+	return uw.w.WriteRecord(timestamp, TypeBGP4MP, SubtypeBGP4MPMessageAS4, rec.Encode())
+}
+
+// Flush flushes buffered output.
+func (uw *UpdateWriter) Flush() error { return uw.w.Flush() }
+
+// UpdateView is one decoded BGP UPDATE observed from a collector peer.
+type UpdateView struct {
+	Timestamp uint32
+	PeerAS    uint32
+	PeerAddr  netip.Addr
+	Update    *bgp.UpdateMessage
+}
+
+// UpdateScanner streams decoded updates out of a BGP4MP file. Non-UPDATE
+// BGP messages and non-BGP4MP records are skipped.
+type UpdateScanner struct {
+	r   *Reader
+	err error
+}
+
+// NewUpdateScanner wraps an MRT stream.
+func NewUpdateScanner(r io.Reader) *UpdateScanner {
+	return &UpdateScanner{r: NewReader(r)}
+}
+
+// Next returns the next decoded update, or io.EOF at end of stream.
+func (s *UpdateScanner) Next() (*UpdateView, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for {
+		rec, err := s.r.Next()
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+			continue
+		}
+		body := rec.Body
+		if rec.Type == TypeBGP4MPET {
+			// Extended timestamp: 4 extra microsecond octets first.
+			if len(body) < 4 {
+				s.err = fmt.Errorf("mrt: BGP4MP_ET: short body")
+				return nil, s.err
+			}
+			body = body[4:]
+		}
+		var (
+			m    *BGP4MPMessage
+			perr error
+			asn  = 4
+		)
+		switch rec.Subtype {
+		case SubtypeBGP4MPMessageAS4:
+			m, perr = ParseBGP4MP(body)
+		case SubtypeBGP4MPMessage:
+			m, perr = ParseBGP4MPLegacy(body)
+			asn = 2
+		default:
+			continue
+		}
+		if perr != nil {
+			s.err = perr
+			return nil, perr
+		}
+		if len(m.Message) >= 19 && m.Message[18] != bgp.MsgTypeUpdate {
+			continue // keepalive/open/notification
+		}
+		upd, err := bgp.DecodeUpdateSized(m.Message, asn)
+		if err != nil {
+			s.err = fmt.Errorf("mrt: BGP4MP update: %w", err)
+			return nil, s.err
+		}
+		return &UpdateView{
+			Timestamp: rec.Timestamp,
+			PeerAS:    m.PeerAS,
+			PeerAddr:  m.PeerAddr,
+			Update:    upd,
+		}, nil
+	}
+}

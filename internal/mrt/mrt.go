@@ -1,0 +1,408 @@
+// Package mrt implements the MRT routing-information export format
+// (RFC 6396) used by RouteViews and RIPE RIS archives: TABLE_DUMP_V2 RIB
+// snapshots and BGP4MP update messages. It provides a streaming record
+// reader, typed record parsers, and a writer, all from scratch on the
+// standard library.
+package mrt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"bgpintent/internal/bgp"
+)
+
+// MRT record types (RFC 6396 §4).
+const (
+	TypeTableDumpV2 uint16 = 13
+	TypeBGP4MP      uint16 = 16
+	TypeBGP4MPET    uint16 = 17
+)
+
+// TABLE_DUMP_V2 subtypes (RFC 6396 §4.3).
+const (
+	SubtypePeerIndexTable uint16 = 1
+	SubtypeRIBIPv4Unicast uint16 = 2
+	SubtypeRIBIPv6Unicast uint16 = 4
+)
+
+// BGP4MP subtypes (RFC 6396 §4.4).
+const (
+	SubtypeBGP4MPMessage    uint16 = 1
+	SubtypeBGP4MPMessageAS4 uint16 = 4
+)
+
+// AFI values used in BGP4MP headers.
+const (
+	AFIIPv4 uint16 = 1
+	AFIIPv6 uint16 = 2
+)
+
+// maxRecordLen bounds a single MRT record body; real archives stay far
+// below this, and the cap keeps a corrupt length field from causing a
+// giant allocation.
+const maxRecordLen = 16 << 20
+
+// Record is one MRT record: the common header plus its undecoded body.
+type Record struct {
+	Timestamp uint32 // seconds since the Unix epoch
+	Type      uint16
+	Subtype   uint16
+	Body      []byte
+}
+
+// Reader streams MRT records from an io.Reader.
+type Reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+// NewReader returns a streaming MRT record reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream. Any
+// error is sticky.
+func (r *Reader) Next() (*Record, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("mrt: truncated record header: %w", err)
+		}
+		r.err = err
+		return nil, err
+	}
+	rec := &Record{
+		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
+		Type:      binary.BigEndian.Uint16(hdr[4:6]),
+		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > maxRecordLen {
+		r.err = fmt.Errorf("mrt: record length %d exceeds limit", n)
+		return nil, r.err
+	}
+	rec.Body = make([]byte, n)
+	if _, err := io.ReadFull(r.br, rec.Body); err != nil {
+		r.err = fmt.Errorf("mrt: truncated record body: %w", err)
+		return nil, r.err
+	}
+	return rec, nil
+}
+
+// Writer emits MRT records to an io.Writer.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter returns an MRT record writer. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteRecord emits one record with the given header fields.
+func (w *Writer) WriteRecord(timestamp uint32, typ, subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], timestamp)
+	binary.BigEndian.PutUint16(hdr[4:6], typ)
+	binary.BigEndian.PutUint16(hdr[6:8], subtype)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(body)))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(body)
+	return err
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Peer is one entry of a TABLE_DUMP_V2 PEER_INDEX_TABLE: a vantage point
+// (collector BGP session) whose RIB entries reference it by index.
+type Peer struct {
+	BGPID netip.Addr // peer BGP identifier (rendered as an IPv4 address)
+	Addr  netip.Addr // peer IP address
+	ASN   uint32     // peer AS number
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 preamble naming the collector and
+// its peers.
+type PeerIndexTable struct {
+	CollectorBGPID netip.Addr
+	ViewName       string
+	Peers          []Peer
+}
+
+// Peer-type bits in the PEER_INDEX_TABLE entries.
+const (
+	peerTypeIPv6 = 0x01 // peer address is 16 octets
+	peerTypeAS4  = 0x02 // peer ASN is 4 octets
+)
+
+// Encode serializes the peer index table body. Peers are always written
+// with 4-octet ASNs; addresses use their native family.
+func (t *PeerIndexTable) Encode() []byte {
+	var out []byte
+	id := t.CollectorBGPID.As4()
+	out = append(out, id[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(t.ViewName)))
+	out = append(out, t.ViewName...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(t.Peers)))
+	for _, p := range t.Peers {
+		ptype := byte(peerTypeAS4)
+		if p.Addr.Is6() && !p.Addr.Is4In6() {
+			ptype |= peerTypeIPv6
+		}
+		out = append(out, ptype)
+		bid := p.BGPID.As4()
+		out = append(out, bid[:]...)
+		if ptype&peerTypeIPv6 != 0 {
+			a := p.Addr.As16()
+			out = append(out, a[:]...)
+		} else {
+			a := p.Addr.As4()
+			out = append(out, a[:]...)
+		}
+		out = binary.BigEndian.AppendUint32(out, p.ASN)
+	}
+	return out
+}
+
+// ParsePeerIndexTable decodes a PEER_INDEX_TABLE record body.
+func ParsePeerIndexTable(body []byte) (*PeerIndexTable, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("mrt: peer index table: short body (%d bytes)", len(body))
+	}
+	var t PeerIndexTable
+	t.CollectorBGPID = netip.AddrFrom4([4]byte(body[0:4]))
+	vlen := int(binary.BigEndian.Uint16(body[4:6]))
+	body = body[6:]
+	if len(body) < vlen+2 {
+		return nil, fmt.Errorf("mrt: peer index table: truncated view name")
+	}
+	t.ViewName = string(body[:vlen])
+	count := int(binary.BigEndian.Uint16(body[vlen : vlen+2]))
+	body = body[vlen+2:]
+	t.Peers = make([]Peer, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 5 {
+			return nil, fmt.Errorf("mrt: peer index table: truncated peer %d", i)
+		}
+		ptype := body[0]
+		var p Peer
+		p.BGPID = netip.AddrFrom4([4]byte(body[1:5]))
+		body = body[5:]
+		alen := 4
+		if ptype&peerTypeIPv6 != 0 {
+			alen = 16
+		}
+		if len(body) < alen {
+			return nil, fmt.Errorf("mrt: peer index table: truncated peer %d address", i)
+		}
+		addr, _ := netip.AddrFromSlice(body[:alen])
+		p.Addr = addr
+		body = body[alen:]
+		if ptype&peerTypeAS4 != 0 {
+			if len(body) < 4 {
+				return nil, fmt.Errorf("mrt: peer index table: truncated peer %d ASN", i)
+			}
+			p.ASN = binary.BigEndian.Uint32(body[:4])
+			body = body[4:]
+		} else {
+			if len(body) < 2 {
+				return nil, fmt.Errorf("mrt: peer index table: truncated peer %d ASN", i)
+			}
+			p.ASN = uint32(binary.BigEndian.Uint16(body[:2]))
+			body = body[2:]
+		}
+		t.Peers = append(t.Peers, p)
+	}
+	return &t, nil
+}
+
+// RIBEntry is one vantage point's view of a prefix in a TABLE_DUMP_V2 RIB
+// record.
+type RIBEntry struct {
+	PeerIndex      uint16 // index into the PEER_INDEX_TABLE
+	OriginatedTime uint32
+	Attrs          bgp.PathAttributes
+}
+
+// RIB is a TABLE_DUMP_V2 RIB_IPV4_UNICAST (or IPv6) record: the set of
+// vantage-point entries for one prefix.
+type RIB struct {
+	SequenceNumber uint32
+	Prefix         bgp.Prefix
+	Entries        []RIBEntry
+}
+
+// Encode serializes the RIB record body.
+func (rib *RIB) Encode() ([]byte, error) {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, rib.SequenceNumber)
+	out = rib.Prefix.AppendWire(out)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(rib.Entries)))
+	for _, e := range rib.Entries {
+		out = binary.BigEndian.AppendUint16(out, e.PeerIndex)
+		out = binary.BigEndian.AppendUint32(out, e.OriginatedTime)
+		attrs := e.Attrs.EncodeAttrs()
+		if len(attrs) > 0xffff {
+			return nil, fmt.Errorf("mrt: RIB entry attributes exceed 65535 bytes")
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
+		out = append(out, attrs...)
+	}
+	return out, nil
+}
+
+// ParseRIB decodes a RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record body;
+// subtype selects the address family.
+func ParseRIB(subtype uint16, body []byte) (*RIB, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("mrt: RIB: short body")
+	}
+	var rib RIB
+	rib.SequenceNumber = binary.BigEndian.Uint32(body[:4])
+	body = body[4:]
+	var (
+		n   int
+		err error
+	)
+	switch subtype {
+	case SubtypeRIBIPv4Unicast:
+		rib.Prefix, n, err = bgp.DecodePrefixIPv4(body)
+	case SubtypeRIBIPv6Unicast:
+		rib.Prefix, n, err = bgp.DecodePrefixIPv6(body)
+	default:
+		return nil, fmt.Errorf("mrt: RIB: unsupported subtype %d", subtype)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("mrt: RIB prefix: %w", err)
+	}
+	body = body[n:]
+	if len(body) < 2 {
+		return nil, fmt.Errorf("mrt: RIB: truncated entry count")
+	}
+	count := int(binary.BigEndian.Uint16(body[:2]))
+	body = body[2:]
+	rib.Entries = make([]RIBEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 8 {
+			return nil, fmt.Errorf("mrt: RIB: truncated entry %d header", i)
+		}
+		var e RIBEntry
+		e.PeerIndex = binary.BigEndian.Uint16(body[0:2])
+		e.OriginatedTime = binary.BigEndian.Uint32(body[2:6])
+		alen := int(binary.BigEndian.Uint16(body[6:8]))
+		body = body[8:]
+		if len(body) < alen {
+			return nil, fmt.Errorf("mrt: RIB: truncated entry %d attributes", i)
+		}
+		if err := bgp.DecodeAttrs(body[:alen], &e.Attrs); err != nil {
+			return nil, fmt.Errorf("mrt: RIB entry %d: %w", i, err)
+		}
+		body = body[alen:]
+		rib.Entries = append(rib.Entries, e)
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("mrt: RIB: %d trailing bytes", len(body))
+	}
+	return &rib, nil
+}
+
+// BGP4MPMessage is a BGP4MP_MESSAGE_AS4 record: one BGP message observed
+// on a collector session, with the session endpoints.
+type BGP4MPMessage struct {
+	PeerAS    uint32
+	LocalAS   uint32
+	IfIndex   uint16
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	Message   []byte // full BGP message, header included
+}
+
+// Encode serializes the BGP4MP_MESSAGE_AS4 record body.
+func (m *BGP4MPMessage) Encode() []byte {
+	var out []byte
+	out = binary.BigEndian.AppendUint32(out, m.PeerAS)
+	out = binary.BigEndian.AppendUint32(out, m.LocalAS)
+	out = binary.BigEndian.AppendUint16(out, m.IfIndex)
+	if m.PeerAddr.Is6() && !m.PeerAddr.Is4In6() {
+		out = binary.BigEndian.AppendUint16(out, AFIIPv6)
+		p := m.PeerAddr.As16()
+		l := m.LocalAddr.As16()
+		out = append(out, p[:]...)
+		out = append(out, l[:]...)
+	} else {
+		out = binary.BigEndian.AppendUint16(out, AFIIPv4)
+		p := m.PeerAddr.As4()
+		l := m.LocalAddr.As4()
+		out = append(out, p[:]...)
+		out = append(out, l[:]...)
+	}
+	return append(out, m.Message...)
+}
+
+// ParseBGP4MP decodes a BGP4MP_MESSAGE_AS4 record body.
+func ParseBGP4MP(body []byte) (*BGP4MPMessage, error) {
+	if len(body) < 12 {
+		return nil, fmt.Errorf("mrt: BGP4MP: short body")
+	}
+	var m BGP4MPMessage
+	m.PeerAS = binary.BigEndian.Uint32(body[0:4])
+	m.LocalAS = binary.BigEndian.Uint32(body[4:8])
+	m.IfIndex = binary.BigEndian.Uint16(body[8:10])
+	afi := binary.BigEndian.Uint16(body[10:12])
+	body = body[12:]
+	alen := 4
+	if afi == AFIIPv6 {
+		alen = 16
+	} else if afi != AFIIPv4 {
+		return nil, fmt.Errorf("mrt: BGP4MP: unsupported AFI %d", afi)
+	}
+	if len(body) < 2*alen {
+		return nil, fmt.Errorf("mrt: BGP4MP: truncated addresses")
+	}
+	peer, _ := netip.AddrFromSlice(body[:alen])
+	local, _ := netip.AddrFromSlice(body[alen : 2*alen])
+	m.PeerAddr, m.LocalAddr = peer, local
+	m.Message = body[2*alen:]
+	return &m, nil
+}
+
+// ParseBGP4MPLegacy decodes a plain BGP4MP_MESSAGE record body, whose
+// session header carries 2-octet AS numbers (pre-RFC 6793 sessions).
+// The contained BGP message also uses 2-octet AS_PATH encoding; decode
+// it with bgp.DecodeUpdateSized(msg, 2).
+func ParseBGP4MPLegacy(body []byte) (*BGP4MPMessage, error) {
+	if len(body) < 8 {
+		return nil, fmt.Errorf("mrt: BGP4MP legacy: short body")
+	}
+	var m BGP4MPMessage
+	m.PeerAS = uint32(binary.BigEndian.Uint16(body[0:2]))
+	m.LocalAS = uint32(binary.BigEndian.Uint16(body[2:4]))
+	m.IfIndex = binary.BigEndian.Uint16(body[4:6])
+	afi := binary.BigEndian.Uint16(body[6:8])
+	body = body[8:]
+	alen := 4
+	if afi == AFIIPv6 {
+		alen = 16
+	} else if afi != AFIIPv4 {
+		return nil, fmt.Errorf("mrt: BGP4MP legacy: unsupported AFI %d", afi)
+	}
+	if len(body) < 2*alen {
+		return nil, fmt.Errorf("mrt: BGP4MP legacy: truncated addresses")
+	}
+	peer, _ := netip.AddrFromSlice(body[:alen])
+	local, _ := netip.AddrFromSlice(body[alen : 2*alen])
+	m.PeerAddr, m.LocalAddr = peer, local
+	m.Message = body[2*alen:]
+	return &m, nil
+}

@@ -1,0 +1,797 @@
+// Package simulate propagates BGP routes over a generated topology and
+// records what route collectors would observe. It implements Gao-Rexford
+// valley-free export with community semantics: customers attach their
+// providers' action communities at origination, transit ASes honor them
+// (prepending, suppression, local-pref, blackholing) and attach their own
+// information communities at ingress (location, relationship, ROV), IXP
+// route servers tag routes while staying out of the AS path, and a small
+// population of ASes strips communities entirely.
+//
+// The output — vantage-point views of (prefix, AS path, communities) —
+// substitutes for the RouteViews/RIS corpus the paper measures.
+package simulate
+
+import (
+	"math/rand"
+	"net/netip"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+	"bgpintent/internal/topology"
+)
+
+// Config controls corpus simulation.
+type Config struct {
+	Seed int64
+
+	// Collectors is the number of route collectors; vantage points are
+	// assigned to collectors round-robin.
+	Collectors int
+
+	// VantagePoints is the number of full-feed VP sessions.
+	VantagePoints int
+
+	// ActionUseProb is the probability that an origin attaches action
+	// communities from one of its providers' plans to a prefix.
+	ActionUseProb float64
+
+	// RSActionUseProb is the probability an IXP member origin attaches a
+	// route-server action community.
+	RSActionUseProb float64
+
+	// PrivateJunkProb is the probability an origin attaches a community
+	// with a private-range α, which the method must refuse to classify.
+	PrivateJunkProb float64
+
+	// LeakProb is the probability an origin erroneously attaches a
+	// foreign information community (cargo-cult configuration); this is
+	// what gives information clusters small off-path counts (Fig. 6).
+	LeakProb float64
+
+	// NoExportProb is the probability an origin confines a prefix with
+	// the well-known NO_EXPORT community.
+	NoExportProb float64
+
+	// BlackholeProb is the probability an origin announces an additional
+	// blackholed /32 under one of its prefixes.
+	BlackholeProb float64
+
+	// LinkFlapFrac is the per-day fraction of multihomed stubs that lose
+	// one provider link, making paths (and tuples) vary across days.
+	LinkFlapFrac float64
+
+	// DayActionJitter is the per-day probability that an origin's action
+	// tagging for a prefix is re-drawn, adding day-over-day tuple
+	// diversity.
+	DayActionJitter float64
+
+	// PartialFeedFrac is the fraction of vantage points that provide
+	// peer-style partial feeds (customer-cone routes only) instead of
+	// full tables, as many RouteViews/RIS peers do.
+	PartialFeedFrac float64
+
+	// LargeMirrorProb is the probability that an origin mirrors its
+	// attached communities as large (RFC 8092) communities too, giving
+	// the corpus the regular/large mix the paper reports (it classifies
+	// regular communities only, as do we).
+	LargeMirrorProb float64
+}
+
+// DefaultConfig returns corpus-scale simulation parameters.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		Collectors:      3,
+		VantagePoints:   180,
+		ActionUseProb:   0.45,
+		RSActionUseProb: 0.25,
+		PrivateJunkProb: 0.02,
+		LeakProb:        0.012,
+		NoExportProb:    0.002,
+		BlackholeProb:   0.04,
+		LinkFlapFrac:    0.03,
+		DayActionJitter: 0.08,
+		PartialFeedFrac: 0.40,
+		LargeMirrorProb: 0.10,
+	}
+}
+
+// LargeConfig returns simulation parameters for the large corpus scale.
+func LargeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.VantagePoints = 420
+	cfg.Collectors = 5
+	return cfg
+}
+
+// TinyConfig returns fast parameters for unit tests.
+func TinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.VantagePoints = 40
+	cfg.Collectors = 2
+	return cfg
+}
+
+// View is one vantage point's route for one prefix: the unit of
+// observation the inference pipeline consumes.
+type View struct {
+	VP     uint32 // vantage-point ASN (first element of Path)
+	Prefix bgp.Prefix
+	Path   []uint32 // nearest-first, origin last, VP included
+	Comms  bgp.Communities
+	// LargeComms carries the route's large communities; the pipeline
+	// counts but does not classify them, like the paper.
+	LargeComms bgp.LargeCommunities
+}
+
+// DayResult is one day of collected views.
+type DayResult struct {
+	Day   int
+	Views []View
+}
+
+// route is a route as held by one AS. The AS path is a parent chain —
+// each hop records who announced it and how many extra prepends were
+// applied — materialized only at vantage points.
+type route struct {
+	parent    *route
+	sender    uint32 // ASN that announced this route to the holder
+	prepends  int    // extra repetitions of sender beyond the mandatory one
+	pathLen   int    // total materialized path length
+	comms     bgp.Communities
+	lcomms    bgp.LargeCommunities
+	lpref     uint32
+	from      int32 // dense index of the neighbor it was learned from
+	fromRel   int   // topology.Rel* the route was learned over
+	blackhole bool
+}
+
+// appendPath materializes the AS path (nearest-first, origin last).
+func (r *route) appendPath(dst []uint32) []uint32 {
+	for cur := r; cur.parent != nil; cur = cur.parent {
+		for i := 0; i <= cur.prepends; i++ {
+			dst = append(dst, cur.sender)
+		}
+	}
+	return dst
+}
+
+// better implements best-path selection: highest local-pref (which
+// encodes the customer > peer > provider preference by default), then
+// shortest AS path, then lowest neighbor index.
+func better(r, than *route) bool {
+	if than == nil {
+		return true
+	}
+	if r.lpref != than.lpref {
+		return r.lpref > than.lpref
+	}
+	if r.pathLen != than.pathLen {
+		return r.pathLen < than.pathLen
+	}
+	return r.from < than.from
+}
+
+// defaultLocalPref encodes the Gao-Rexford preference order.
+func defaultLocalPref(rel int) uint32 {
+	switch rel {
+	case topology.RelCustomer:
+		return 200
+	case topology.RelPeer:
+		return 100
+	default:
+		return 50
+	}
+}
+
+// planCache precomputes per-AS lookups the hot transfer path needs.
+type planCache struct {
+	locCity   map[int]uint16 // city -> location β
+	locRegion map[int]uint16 // region -> rollup location β
+	relDef    map[int]uint16 // relationship -> β
+	rovDef    map[int]uint16 // ROV state -> β
+	otherInfo []uint16       // other-info β, for rotating internal tags
+}
+
+func newPlanCache(plan *dict.Plan) *planCache {
+	c := &planCache{
+		locCity:   make(map[int]uint16),
+		locRegion: make(map[int]uint16),
+		relDef:    make(map[int]uint16),
+		rovDef:    make(map[int]uint16),
+	}
+	for _, v := range plan.Values() {
+		d, _ := plan.Lookup(v)
+		switch d.Sub {
+		case dict.SubLocation:
+			if d.City != 0 {
+				if _, dup := c.locCity[d.City]; !dup {
+					c.locCity[d.City] = v
+				}
+			} else if d.Region != 0 {
+				if _, dup := c.locRegion[d.Region]; !dup {
+					c.locRegion[d.Region] = v
+				}
+			}
+		case dict.SubRelationship:
+			if _, dup := c.relDef[d.Rel]; !dup {
+				c.relDef[d.Rel] = v
+			}
+		case dict.SubROV:
+			if _, dup := c.rovDef[d.ROV]; !dup {
+				c.rovDef[d.ROV] = v
+			}
+		case dict.SubOtherInfo:
+			c.otherInfo = append(c.otherInfo, v)
+		}
+	}
+	return c
+}
+
+type originPrefix struct {
+	prefix    bgp.Prefix
+	origin    int32
+	blackhole bool // announced with the origin's provider blackhole community
+}
+
+// Simulator runs route propagation over a topology.
+type Simulator struct {
+	topo *topology.Topology
+	cfg  Config
+
+	vps     []uint32
+	index   map[uint32]int32 // ASN -> dense index
+	asns    []uint32         // dense index -> ASN
+	ases    []*topology.AS   // dense index -> AS
+	caches  []*planCache     // dense index -> plan cache (nil without plan)
+	ixpAdj  [][]uint32       // dense index -> sorted IXP-peer ASNs
+	rsPlans map[int]*dict.Plan
+	rsTag   map[int]bgp.Community // ixpID -> "learned here" info community
+
+	originStates []*originState
+	leakPool     []bgp.Community // foreign info communities origins may leak
+
+	origins []originPrefix
+}
+
+// New prepares a simulator: dense indexes, vantage-point selection, plan
+// caches, and the prefix origin list.
+func New(topo *topology.Topology, cfg Config) *Simulator {
+	s := &Simulator{
+		topo:    topo,
+		cfg:     cfg,
+		index:   make(map[uint32]int32, len(topo.ASes)),
+		rsPlans: make(map[int]*dict.Plan),
+		rsTag:   make(map[int]bgp.Community),
+	}
+	n := len(topo.Order)
+	s.asns = make([]uint32, n)
+	s.ases = make([]*topology.AS, n)
+	s.caches = make([]*planCache, n)
+	s.ixpAdj = make([][]uint32, n)
+	for i, asn := range topo.Order {
+		s.index[asn] = int32(i)
+		s.asns[i] = asn
+		s.ases[i] = topo.ASes[asn]
+		if s.ases[i].Plan != nil {
+			s.caches[i] = newPlanCache(s.ases[i].Plan)
+		}
+		s.ixpAdj[i] = sortedKeys(s.ases[i].IXPPeers)
+	}
+	for _, ix := range topo.IXPs {
+		if ix.Plan == nil {
+			continue
+		}
+		s.rsPlans[ix.ID] = ix.Plan
+		for _, v := range ix.Plan.Values() {
+			if d, _ := ix.Plan.Lookup(v); d.Sub == dict.SubOtherInfo {
+				s.rsTag[ix.ID] = bgp.NewCommunity(uint16(ix.RouteServerASN), v)
+				break
+			}
+		}
+	}
+	// Leak pool: transit information communities an origin might
+	// cargo-cult onto its own announcements (or carry stale after
+	// re-homing). The rate is kept low: with full-feed vantage points a
+	// single leak event is visible on every path to the leaking origin,
+	// so leaks are far more corrosive here than in the partial-visibility
+	// reality (see EXPERIMENTS.md, Fig. 6 notes).
+	for _, asn := range topo.Order {
+		a := topo.ASes[asn]
+		if a.Plan == nil || a.Tier == topology.TierStub {
+			continue
+		}
+		count := 0
+		for _, v := range a.Plan.Values() {
+			if d, _ := a.Plan.Lookup(v); d.Category() == dict.CatInformation {
+				s.leakPool = append(s.leakPool, bgp.NewCommunity(uint16(a.Alpha()), v))
+				if count++; count >= 2 {
+					break
+				}
+			}
+		}
+	}
+	s.originStates = make([]*originState, n)
+	for i := range s.ases {
+		s.originStates[i] = s.buildOriginState(int32(i))
+	}
+	s.selectVPs()
+	s.buildOrigins()
+	return s
+}
+
+// selectVPs picks the vantage-point population: every tier-1/2, then a
+// deterministic sample of tier-3 and stubs, mirroring the transit-heavy
+// RouteViews/RIS peer mix.
+func (s *Simulator) selectVPs() {
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ 0x5eed))
+	var transit, t3, stubs []uint32
+	for _, asn := range s.topo.Order {
+		switch s.topo.ASes[asn].Tier {
+		case topology.TierT1, topology.TierT2:
+			transit = append(transit, asn)
+		case topology.TierT3:
+			t3 = append(t3, asn)
+		default:
+			stubs = append(stubs, asn)
+		}
+	}
+	for _, group := range [][]uint32{transit, t3, stubs} {
+		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+	}
+	rng.Shuffle(len(t3), func(i, j int) { t3[i], t3[j] = t3[j], t3[i] })
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	want := s.cfg.VantagePoints
+	vps := append([]uint32{}, transit...)
+	if len(vps) > want {
+		vps = vps[:want]
+	}
+	if rem := want - len(vps); rem > 0 {
+		n3 := min(rem*2/3, len(t3))
+		vps = append(vps, t3[:n3]...)
+		if rem = want - len(vps); rem > 0 {
+			vps = append(vps, stubs[:min(rem, len(stubs))]...)
+		}
+	}
+	sort.Slice(vps, func(i, j int) bool { return vps[i] < vps[j] })
+	s.vps = vps
+}
+
+// buildOrigins lists every originated prefix, plus blackholed /32s for a
+// sample of stub origins.
+func (s *Simulator) buildOrigins() {
+	for idx, a := range s.ases {
+		for _, p := range a.Prefixes {
+			s.origins = append(s.origins, originPrefix{prefix: p, origin: int32(idx)})
+		}
+	}
+	for idx, a := range s.ases {
+		if a.Tier != topology.TierStub || len(a.Prefixes) == 0 {
+			continue
+		}
+		rng := keyRand(s.cfg.Seed, uint64(a.ASN), 0xb1ac)
+		if rng.Float64() >= s.cfg.BlackholeProb {
+			continue
+		}
+		base := a.Prefixes[0]
+		addr := base.Addr().As4()
+		addr[3] = byte(1 + rng.Intn(250))
+		p := bgp.PrefixFrom(netip.AddrFrom4(addr), 32)
+		s.origins = append(s.origins, originPrefix{prefix: p, origin: int32(idx), blackhole: true})
+	}
+	sort.Slice(s.origins, func(i, j int) bool {
+		a, b := s.origins[i].prefix, s.origins[j].prefix
+		if a.Addr() != b.Addr() {
+			return a.Addr().Less(b.Addr())
+		}
+		return a.Bits() < b.Bits()
+	})
+}
+
+// VPs returns the vantage-point ASNs.
+func (s *Simulator) VPs() []uint32 { return s.vps }
+
+// Prefixes returns the number of originated prefixes (including
+// blackhole /32s).
+func (s *Simulator) Prefixes() int { return len(s.origins) }
+
+// RunDay propagates every prefix for one day and returns the vantage
+// point views. Day-dependent state: a fraction of multihomed stubs lose
+// one provider link, and some origins re-draw their action tagging.
+//
+// Prefixes are independent, so the work is sharded across GOMAXPROCS
+// workers; per-prefix determinism keeps the output identical to a
+// sequential run.
+func (s *Simulator) RunDay(day int) *DayResult {
+	res := &DayResult{Day: day}
+	vpIdx := make([]int32, len(s.vps))
+	partial := make([]bool, len(s.vps))
+	for i, vp := range s.vps {
+		vpIdx[i] = s.index[vp]
+		partial[i] = s.isPartialFeed(vp)
+	}
+	down := s.dayDownLinks(day)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.origins) {
+		workers = len(s.origins)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	// Contiguous origin shards keep the output prefix-major and stable.
+	shards := make([][]View, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(s.origins) / workers
+		hi := (w + 1) * len(s.origins) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w] = s.runOrigins(day, s.origins[lo:hi], down, vpIdx, partial)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	res.Views = make([]View, 0, total)
+	for _, sh := range shards {
+		res.Views = append(res.Views, sh...)
+	}
+	return res
+}
+
+// runOrigins propagates one shard of prefixes and collects its views.
+func (s *Simulator) runOrigins(day int, origins []originPrefix, down map[uint64]bool, vpIdx []int32, partial []bool) []View {
+	n := len(s.ases)
+	custBest := make([]*route, n)
+	peerBest := make([]*route, n)
+	provBest := make([]*route, n)
+	var views []View
+	for _, op := range origins {
+		for i := range custBest {
+			custBest[i], peerBest[i], provBest[i] = nil, nil, nil
+		}
+		orig := s.originRoute(op, day)
+		s.propagate(op, orig, down, custBest, peerBest, provBest)
+		for i, vp := range s.vps {
+			vi := vpIdx[i]
+			best := bestOf(custBest[vi], peerBest[vi], provBest[vi])
+			if vi == op.origin {
+				best = orig
+			}
+			if best == nil {
+				continue
+			}
+			// Partial feeds share only customer-cone routes, like the
+			// peer sessions many collectors have.
+			if partial[i] && vi != op.origin && best.fromRel != topology.RelCustomer {
+				continue
+			}
+			path := make([]uint32, 0, best.pathLen+1)
+			path = append(path, vp)
+			path = best.appendPath(path)
+			comms := best.comms
+			lcomms := best.lcomms
+			if s.ases[vi].FiltersCommunities {
+				comms, lcomms = nil, nil
+			}
+			views = append(views, View{
+				VP:         vp,
+				Prefix:     op.prefix,
+				Path:       path,
+				Comms:      comms.Canonical(),
+				LargeComms: lcomms,
+			})
+		}
+	}
+	return views
+}
+
+// isPartialFeed reports whether a vantage point provides a peer-style
+// partial feed (deterministic per VP).
+func (s *Simulator) isPartialFeed(vp uint32) bool {
+	if s.cfg.PartialFeedFrac <= 0 {
+		return false
+	}
+	return float64(mix(uint64(vp), 0xfeed)%1000) < s.cfg.PartialFeedFrac*1000
+}
+
+// dayDownLinks returns the (stub, provider) links down on the given day.
+func (s *Simulator) dayDownLinks(day int) map[uint64]bool {
+	down := make(map[uint64]bool)
+	if s.cfg.LinkFlapFrac <= 0 {
+		return down
+	}
+	for _, a := range s.ases {
+		if a.Tier != topology.TierStub || len(a.Providers) < 2 {
+			continue
+		}
+		rng := keyRand(s.cfg.Seed, uint64(a.ASN)<<16|uint64(day), 0xf1a9)
+		if rng.Float64() < s.cfg.LinkFlapFrac {
+			p := a.Providers[rng.Intn(len(a.Providers))]
+			down[linkKey(a.ASN, p)] = true
+		}
+	}
+	return down
+}
+
+func linkKey(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// propagate computes every AS's candidate routes for one prefix using the
+// three Gao-Rexford phases: customer routes climb provider links, then
+// cross peer links once, then descend to customers. Local-pref action
+// communities influence selection inside each AS; as in other valley-free
+// simulators, a route already exported upward in phase one is not
+// retracted if a later phase wins selection.
+func (s *Simulator) propagate(op originPrefix, orig *route, down map[uint64]bool, custBest, peerBest, provBest []*route) {
+	// Phase 1: customer routes, customers before providers.
+	for u := int32(0); u < int32(len(s.ases)); u++ {
+		a := s.ases[u]
+		for _, cASN := range a.Customers {
+			c := s.index[cASN]
+			src := custBest[c]
+			if c == op.origin {
+				src = orig
+			}
+			if src == nil || down[linkKey(a.ASN, cASN)] {
+				continue
+			}
+			if r := s.transfer(c, u, topology.RelCustomer, src, op); r != nil && better(r, custBest[u]) {
+				custBest[u] = r
+			}
+		}
+	}
+	// Phase 2: best customer (or origin) route crosses peer links.
+	for u := int32(0); u < int32(len(s.ases)); u++ {
+		a := s.ases[u]
+		src := custBest[u]
+		if u == op.origin {
+			src = orig
+		}
+		if src == nil {
+			continue
+		}
+		for _, pASN := range a.Peers {
+			v := s.index[pASN]
+			if r := s.transfer(u, v, topology.RelPeer, src, op); r != nil && better(r, peerBest[v]) {
+				peerBest[v] = r
+			}
+		}
+		for _, pASN := range s.ixpAdj[u] {
+			v := s.index[pASN]
+			if r := s.transfer(u, v, topology.RelPeer, src, op); r != nil && better(r, peerBest[v]) {
+				peerBest[v] = r
+			}
+		}
+	}
+	// Phase 3: overall best descends provider->customer, providers first.
+	for u := int32(len(s.ases)) - 1; u >= 0; u-- {
+		a := s.ases[u]
+		src := bestOf(custBest[u], peerBest[u], provBest[u])
+		if u == op.origin {
+			src = orig
+		}
+		if src == nil {
+			continue
+		}
+		for _, cASN := range a.Customers {
+			c := s.index[cASN]
+			if c == op.origin || down[linkKey(a.ASN, cASN)] {
+				continue
+			}
+			if r := s.transfer(u, c, topology.RelProvider, src, op); r != nil && better(r, provBest[c]) {
+				provBest[c] = r
+			}
+		}
+	}
+}
+
+func bestOf(routes ...*route) *route {
+	var best *route
+	for _, r := range routes {
+		if r != nil && better(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// transfer models one announcement hop: the sender's export policy
+// (including the action communities its customers set) followed by the
+// receiver's import processing (local-pref, blackhole detection,
+// information tagging). rel is the relationship of the sender from the
+// receiver's perspective. It returns nil when the route is not exported.
+func (s *Simulator) transfer(from, to int32, rel int, r *route, op originPrefix) *route {
+	sender, recv := s.ases[from], s.ases[to]
+	if r.blackhole {
+		return nil // blackhole routes stay within the honoring AS
+	}
+	// NO_EXPORT confines a learned route; the origin itself may announce.
+	if r.parent != nil && r.comms.Has(bgp.CommunityNoExport) {
+		return nil
+	}
+	linkCity := sender.LinkCity[recv.ASN]
+	linkRegion := s.topo.Region(linkCity)
+
+	prepends := 0
+	if sender.Plan != nil {
+		for _, c := range r.comms {
+			if uint32(c.ASN()) != sender.Alpha() {
+				continue
+			}
+			def, ok := sender.Plan.Lookup(c.Value())
+			if !ok {
+				continue
+			}
+			switch def.Sub {
+			case dict.SubSuppress:
+				if actionMatches(def, recv.ASN, linkRegion) {
+					return nil
+				}
+			case dict.SubSetAttribute:
+				if def.Prepend > prepends && actionMatches(def, recv.ASN, linkRegion) {
+					prepends = def.Prepend
+				}
+			}
+		}
+	}
+
+	out := &route{
+		parent:   r,
+		sender:   sender.ASN,
+		prepends: prepends,
+		pathLen:  r.pathLen + 1 + prepends,
+		from:     from,
+		fromRel:  rel,
+		lpref:    defaultLocalPref(rel),
+	}
+
+	var comms bgp.Communities
+	if !sender.FiltersCommunities {
+		comms = make(bgp.Communities, len(r.comms), len(r.comms)+4)
+		copy(comms, r.comms)
+		out.lcomms = r.lcomms // immutable after origination; shared
+	}
+
+	// IXP route-server processing on multilateral sessions: the RS honors
+	// member-set actions and adds its tag, without entering the path.
+	if ixpID, viaIXP := sender.IXPPeers[recv.ASN]; viaIXP {
+		if plan := s.rsPlans[ixpID]; plan != nil {
+			for _, c := range comms {
+				if uint32(c.ASN()) != plan.ASN {
+					continue
+				}
+				if def, ok := plan.Lookup(c.Value()); ok &&
+					def.Sub == dict.SubSuppress && actionMatches(def, recv.ASN, linkRegion) {
+					return nil
+				}
+			}
+			if tag, ok := s.rsTag[ixpID]; ok {
+				comms = append(comms, tag)
+			}
+		}
+	}
+
+	// Receiver import: local-pref overrides and blackhole requests set by
+	// its customers.
+	if recv.Plan != nil {
+		for _, c := range comms {
+			if uint32(c.ASN()) != recv.Alpha() {
+				continue
+			}
+			def, ok := recv.Plan.Lookup(c.Value())
+			if !ok {
+				continue
+			}
+			if def.Sub == dict.SubSetAttribute && def.HasLocalPref && def.TargetAS == 0 &&
+				(def.TargetRegion == 0 || def.TargetRegion == linkRegion) {
+				out.lpref = def.LocalPref
+			}
+			if def.Sub == dict.SubBlackhole {
+				out.blackhole = true
+			}
+		}
+	}
+	if comms.Has(bgp.CommunityBlackhole) {
+		out.blackhole = true
+	}
+
+	// Receiver ingress tagging.
+	if cache := s.caches[to]; cache != nil && !recv.FiltersCommunities {
+		asn16 := uint16(recv.Alpha())
+		if recv.TagsLocation {
+			if v, ok := cache.locCity[linkCity]; ok {
+				comms = append(comms, bgp.NewCommunity(asn16, v))
+			} else if v, ok := cache.locRegion[linkRegion]; ok {
+				comms = append(comms, bgp.NewCommunity(asn16, v))
+			}
+		}
+		// Relationship tags drive export policy ("may I export this?"),
+		// so operators tag customer- and peer-learned routes; provider-
+		// learned routes need no mark.
+		if recv.TagsRelationship && rel != topology.RelProvider {
+			if v, ok := cache.relDef[rel]; ok {
+				comms = append(comms, bgp.NewCommunity(asn16, v))
+			}
+		}
+		if recv.TagsROV {
+			if v, ok := cache.rovDef[ROVState(s.asns[op.origin])]; ok {
+				comms = append(comms, bgp.NewCommunity(asn16, v))
+			}
+		}
+		// Internal metadata tags rotate over the other-info values by a
+		// stable per-(AS, prefix, ingress-city) hash, so newly defined
+		// values (plan growth across epochs) become observable and each
+		// value is seen at many ingress points (internal tags are not
+		// location signals).
+		if len(cache.otherInfo) > 0 {
+			h := mix(prefixKey(op.prefix)^uint64(recv.ASN)^uint64(linkCity)<<40, 0x07e2)
+			if h%2 == 0 {
+				comms = append(comms, bgp.NewCommunity(asn16, cache.otherInfo[(h>>8)%uint64(len(cache.otherInfo))]))
+			}
+		}
+	}
+	out.comms = comms
+	return out
+}
+
+// ROVState returns the Route Origin Validation state of an origin AS in
+// the simulated Internet: 0 valid (most), 2 unknown (some), 1 invalid
+// (few). It is the synthetic substitute for an RPKI validated-ROA table
+// and is exported for consumers that need the oracle (e.g. fine-grained
+// community classification).
+func ROVState(origin uint32) int {
+	h := mix(uint64(origin), 0x20f)
+	switch {
+	case h%10 < 7:
+		return 0
+	case h%10 < 9:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// actionMatches reports whether an action definition applies to an export
+// toward neighbor nbr on a session in linkRegion. Definitions with no
+// target at all apply only to suppression (a global do-not-export).
+func actionMatches(def *dict.Def, nbr uint32, linkRegion int) bool {
+	if def.TargetAS != 0 && def.TargetAS != nbr {
+		return false
+	}
+	if def.TargetRegion != 0 && def.TargetRegion != linkRegion {
+		return false
+	}
+	return def.TargetAS != 0 || def.TargetRegion != 0 || def.Sub == dict.SubSuppress
+}
+
+func sortedKeys(m map[uint32]int) []uint32 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
