@@ -22,19 +22,17 @@
 package bgpintent
 
 import (
-	"compress/bzip2"
-	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
 	"sort"
-	"strings"
 
 	"bgpintent/internal/asrel"
 	"bgpintent/internal/bgp"
 	"bgpintent/internal/core"
 	"bgpintent/internal/corpus"
 	"bgpintent/internal/dict"
+	"bgpintent/internal/ingest"
 	"bgpintent/internal/mrt"
 )
 
@@ -147,111 +145,120 @@ func NewSyntheticCorpus(opts CorpusOptions) (*Corpus, error) {
 	return &Corpus{store: c.Store, orgs: c.Orgs, syn: c}, nil
 }
 
+// DefaultMaxErrorRate is the default per-file error budget for lenient
+// MRT loading: above this corruption rate a load aborts rather than
+// passing silent garbage off as a clean corpus.
+const DefaultMaxErrorRate = ingest.DefaultMaxErrorRate
+
+// LoadOptions control the fault tolerance of MRT corpus loading.
+type LoadOptions struct {
+	// Strict fails on the first malformed record. The default (lenient)
+	// skips undecodable records and resynchronizes over corrupt framing,
+	// within the error budget.
+	Strict bool
+	// MaxErrorRate is the lenient-mode error budget: the per-file
+	// fraction of corrupt records above which the load aborts. 0 means
+	// DefaultMaxErrorRate; negative disables the budget.
+	MaxErrorRate float64
+}
+
+// LoadStats summarizes what an MRT load salvaged and what it dropped.
+type LoadStats struct {
+	Files          int   // files ingested
+	Records        int   // MRT records framed
+	Decoded        int   // records decoded into routes
+	Skipped        int   // undecodable records (or RIB entries) dropped
+	Resyncs        int   // framing failures recovered by resynchronization
+	TruncatedFiles int   // files that ended mid-record
+	UnknownRecords int   // records of types the pipeline does not decode
+	BytesRead      int64 // bytes consumed
+	BytesSkipped   int64 // bytes lost to corruption
+}
+
+// Clean reports whether the load saw no corruption at all.
+func (s LoadStats) Clean() bool {
+	return s.Skipped == 0 && s.Resyncs == 0 && s.TruncatedFiles == 0
+}
+
+// Summary renders a one-line account of the load.
+func (s LoadStats) Summary() string {
+	if s.Clean() {
+		return fmt.Sprintf("%d files, %d records (%d decoded, %d unknown-type), no corruption",
+			s.Files, s.Records, s.Decoded, s.UnknownRecords)
+	}
+	return fmt.Sprintf("%d files, %d records (%d decoded, %d unknown-type), %d skipped, %d resyncs, %d truncated files, %d bytes lost of %d read",
+		s.Files, s.Records, s.Decoded, s.UnknownRecords, s.Skipped, s.Resyncs, s.TruncatedFiles, s.BytesSkipped, s.BytesRead)
+}
+
+func loadStats(ist *ingest.Stats) LoadStats {
+	t := &ist.Total
+	return LoadStats{
+		Files:          len(ist.Files),
+		Records:        t.Records,
+		Decoded:        t.Decoded,
+		Skipped:        t.Skipped,
+		Resyncs:        t.Resyncs,
+		TruncatedFiles: t.Truncated,
+		UnknownRecords: t.UnknownCount(),
+		BytesRead:      t.BytesRead,
+		BytesSkipped:   t.BytesSkipped,
+	}
+}
+
 // LoadMRTCorpus reads TABLE_DUMP_V2 RIB files and BGP4MP updates files
 // (the RouteViews/RIS archive formats; .gz and .bz2 are decompressed
 // transparently) plus an optional as2org file ("asn|org" lines), and
-// builds the tuple corpus.
+// builds the tuple corpus. Loading is lenient with the default error
+// budget; use LoadMRTCorpusOptions for strict mode or load statistics.
 func LoadMRTCorpus(ribPaths, updatePaths []string, orgPath string) (*Corpus, error) {
+	c, _, err := LoadMRTCorpusOptions(ribPaths, updatePaths, orgPath, LoadOptions{})
+	return c, err
+}
+
+// LoadMRTCorpusOptions is LoadMRTCorpus with explicit fault-tolerance
+// options, also returning ingestion statistics (valid even when the
+// load fails, covering the files processed so far).
+func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts LoadOptions) (*Corpus, LoadStats, error) {
 	c := &Corpus{store: core.NewTupleStore(), orgs: asrel.NewOrgMap()}
+	iopts := ingest.Options{Strict: opts.Strict, MaxErrorRate: opts.MaxErrorRate}
+	ist := &ingest.Stats{}
 	for _, path := range ribPaths {
-		if err := c.addRIBFile(path); err != nil {
-			return nil, err
+		err := ingest.ScanRIBs(path, iopts, ist, func(v *mrt.RIBView) error {
+			c.store.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
+			c.store.NoteLarge(v.Entry.Attrs.LargeCommunities)
+			return nil
+		})
+		if err != nil {
+			return nil, loadStats(ist), err
 		}
 	}
 	for _, path := range updatePaths {
-		if err := c.addUpdatesFile(path); err != nil {
-			return nil, err
+		err := ingest.ScanUpdates(path, iopts, ist, func(v *mrt.UpdateView) error {
+			if len(v.Update.NLRI) == 0 {
+				return nil // pure withdrawals carry no tuple
+			}
+			c.store.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
+			c.store.NoteLarge(v.Update.Attrs.LargeCommunities)
+			return nil
+		})
+		if err != nil {
+			return nil, loadStats(ist), err
 		}
 	}
 	if orgPath != "" {
 		f, err := os.Open(orgPath)
 		if err != nil {
-			return nil, err
+			return nil, loadStats(ist), err
 		}
 		defer f.Close()
 		m, err := asrel.ReadOrgMap(f)
 		if err != nil {
-			return nil, err
+			return nil, loadStats(ist), err
 		}
 		c.orgs = m
 	}
 	c.store.AnnotateOrgs(c.orgs)
-	return c, nil
-}
-
-// openMRT opens an MRT file, decompressing .gz/.bz2 by extension as the
-// RouteViews and RIS archives ship them.
-func openMRT(path string) (io.ReadCloser, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	switch {
-	case strings.HasSuffix(path, ".gz"):
-		zr, err := gzip.NewReader(f)
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("bgpintent: %s: %w", path, err)
-		}
-		return &wrappedCloser{Reader: zr, close: func() error { zr.Close(); return f.Close() }}, nil
-	case strings.HasSuffix(path, ".bz2"):
-		return &wrappedCloser{Reader: bzip2.NewReader(f), close: f.Close}, nil
-	default:
-		return f, nil
-	}
-}
-
-// wrappedCloser pairs a decompressing reader with the underlying file's
-// closer.
-type wrappedCloser struct {
-	io.Reader
-	close func() error
-}
-
-// Close closes the decompressor and the underlying file.
-func (w *wrappedCloser) Close() error { return w.close() }
-
-func (c *Corpus) addRIBFile(path string) error {
-	f, err := openMRT(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sc := mrt.NewTableDumpScanner(f)
-	for {
-		v, err := sc.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("bgpintent: %s: %w", path, err)
-		}
-		c.store.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
-		c.store.NoteLarge(v.Entry.Attrs.LargeCommunities)
-	}
-}
-
-func (c *Corpus) addUpdatesFile(path string) error {
-	f, err := openMRT(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	sc := mrt.NewUpdateScanner(f)
-	for {
-		v, err := sc.Next()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("bgpintent: %s: %w", path, err)
-		}
-		if len(v.Update.NLRI) == 0 {
-			continue // pure withdrawals carry no tuple
-		}
-		c.store.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
-		c.store.NoteLarge(v.Update.Attrs.LargeCommunities)
-	}
+	return c, loadStats(ist), nil
 }
 
 // Tuples returns the number of unique (AS path, communities) tuples.

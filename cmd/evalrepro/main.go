@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	evalrepro [-exp all|headline|fig4|fig6|fig7|fig9|fig10|days|months|tab1|ablation|seeds|fine]
+//	evalrepro [-exp all|headline|fig4|fig6|fig7|fig9|fig10|days|months|tab1|ablation|seeds|fine|faults]
 //	          [-scale tiny|default] [-seed N] [-days N] [-trials N] [-months N]
 package main
 
@@ -58,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	known := map[string]bool{
 		"all": true, "headline": true, "fig4": true, "fig6": true, "fig7": true,
 		"fig9": true, "fig10": true, "days": true, "months": true, "tab1": true,
-		"ablation": true, "seeds": true, "fine": true,
+		"ablation": true, "seeds": true, "fine": true, "faults": true,
 	}
 	for _, w := range wanted {
 		if !known[w] {
@@ -129,6 +129,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if want("months") {
 		r, err := eval.MonthsSweep(cfg, *months)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, r.Render())
+	}
+	if want("faults") {
+		r, err := eval.FaultTolerance(cfg, nil)
 		if err != nil {
 			return err
 		}

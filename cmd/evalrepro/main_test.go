@@ -33,6 +33,21 @@ func TestRunMultipleExperiments(t *testing.T) {
 	}
 }
 
+func TestRunFaultsTiny(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "faults", "-scale", "tiny"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== faults:") || !strings.Contains(s, "salvaged-tuples=") {
+		t.Errorf("faults output = %q", s)
+	}
+	if strings.Contains(s, "building corpus") {
+		t.Error("faults experiment built the shared corpus it does not use")
+	}
+}
+
 func TestRunRejectsBadArgs(t *testing.T) {
 	if err := run([]string{"-scale", "bogus"}, &bytes.Buffer{}); err == nil {
 		t.Error("bad scale accepted")

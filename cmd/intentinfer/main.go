@@ -2,10 +2,16 @@
 // information from MRT data, implementing the paper's pipeline end to
 // end. RIB and updates files may be given as globs.
 //
+// Loading is lenient by default: undecodable records are skipped,
+// corrupt framing is resynchronized over, and the load aborts only when
+// a file's corruption rate exceeds -max-error-rate. -strict restores
+// fail-fast decoding.
+//
 // Usage:
 //
 //	intentinfer -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	            -as2org corpus/as2org.txt [-gap 140] [-ratio 160] [-o out.tsv]
+//	            [-strict] [-max-error-rate 0.05]
 package main
 
 import (
@@ -36,6 +42,9 @@ func run(args []string, stdout io.Writer) error {
 		gap     = fs.Int("gap", 140, "minimum gap between community clusters")
 		ratio   = fs.Float64("ratio", 160, "on-path:off-path ratio threshold")
 		outPath = fs.String("o", "", "write inferences as TSV to this file")
+		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
+		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
+			"abort when a file's corruption rate exceeds this fraction (negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,10 +62,12 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no input files; use -rib and/or -updates")
 	}
 
-	c, err := bgpintent.LoadMRTCorpus(ribs, updates, *as2org)
+	c, stats, err := bgpintent.LoadMRTCorpusOptions(ribs, updates, *as2org,
+		bgpintent.LoadOptions{Strict: *strict, MaxErrorRate: *maxErr})
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(stdout, "ingest: %s\n", stats.Summary())
 	fmt.Fprintf(stdout, "loaded %d unique tuples over %d unique AS paths from %d vantage points\n",
 		c.Tuples(), c.Paths(), len(c.VantagePoints()))
 	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large, not classified)\n",
@@ -67,20 +78,35 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		if err := res.WriteTSV(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeTSVAtomic(*outPath, res); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote inferences to %s\n", *outPath)
 	}
 	return nil
+}
+
+// writeTSVAtomic writes the inferences to a temporary file in the
+// destination directory and renames it into place, so a mid-stream
+// failure never leaves a half-written TSV behind.
+func writeTSVAtomic(path string, res *bgpintent.Result) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = res.WriteTSV(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func expand(glob string) ([]string, error) {

@@ -75,6 +75,108 @@ func TestRunNoInputs(t *testing.T) {
 	}
 }
 
+// corruptFile clips the file mid-record so strict decoding fails while
+// lenient decoding salvages everything before the cut.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLenientVsStrict(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	corruptFile(t, filepath.Join(dir, "rc0.rib.mrt"))
+	args := []string{
+		"-rib", filepath.Join(dir, "*.rib.mrt"),
+		"-as2org", filepath.Join(dir, "as2org.txt"),
+	}
+
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("lenient run over a truncated file failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ingest:") || !strings.Contains(s, "truncated") {
+		t.Errorf("output does not report the truncated tail: %q", s)
+	}
+	if !strings.Contains(s, "classified") {
+		t.Errorf("lenient run did not classify: %q", s)
+	}
+
+	err := run(append([]string{"-strict"}, args...), &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("-strict accepted a truncated file")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("strict error %q carries no byte offset", err)
+	}
+}
+
+func TestRunMaxErrorRate(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	// A pure-garbage "rib" file has corruption rate 1.0.
+	garbage := filepath.Join(dir, "zz.rib.mrt")
+	if err := os.WriteFile(garbage, bytes.Repeat([]byte("not mrt "), 64), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-rib", filepath.Join(dir, "*.rib.mrt"),
+		"-as2org", filepath.Join(dir, "as2org.txt"),
+	}
+
+	err := run(args, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "error budget") {
+		t.Fatalf("default budget let a garbage file through: %v", err)
+	}
+
+	var out bytes.Buffer
+	if err := run(append([]string{"-max-error-rate", "-1"}, args...), &out); err != nil {
+		t.Fatalf("disabled budget still failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "classified") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestWriteTSVAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	outTSV := filepath.Join(dir, "out.tsv")
+	err := run([]string{
+		"-rib", filepath.Join(dir, "*.rib.mrt"),
+		"-as2org", filepath.Join(dir, "as2org.txt"),
+		"-o", outTSV,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(outTSV); err != nil {
+		t.Errorf("output TSV missing: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+
+	// Writing into a nonexistent directory fails up front and leaves
+	// nothing behind.
+	if err := writeTSVAtomic(filepath.Join(dir, "nope", "out.tsv"), nil); err == nil {
+		t.Error("atomic write into a missing directory succeeded")
+	}
+}
+
 func TestExpand(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"a.mrt", "b.mrt"} {

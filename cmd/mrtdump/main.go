@@ -2,9 +2,16 @@
 // spirit of bgpdump. Without -v it prints per-type record counts; with
 // -v it prints one line per route.
 //
+// Decoding is lenient by default: undecodable records are skipped and
+// corrupt framing is resynchronized over, and after all files a
+// per-type skip summary is printed. The exit code is nonzero when any
+// record could not be decoded. -strict restores fail-fast behavior with
+// offset-bearing errors; -stats prints full framing statistics per
+// file.
+//
 // Usage:
 //
-//	mrtdump [-v] file.mrt...
+//	mrtdump [-v] [-strict] [-stats] file.mrt...
 package main
 
 import (
@@ -13,8 +20,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 
 	"bgpintent/internal/bgp"
+	"bgpintent/internal/ingest"
 	"bgpintent/internal/mrt"
 )
 
@@ -26,32 +35,55 @@ func main() {
 	}
 }
 
+type options struct {
+	verbose bool
+	strict  bool
+	stats   bool
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mrtdump", flag.ContinueOnError)
-	verbose := fs.Bool("v", false, "print each route")
+	var opts options
+	fs.BoolVar(&opts.verbose, "v", false, "print each route")
+	fs.BoolVar(&opts.strict, "strict", false, "fail on the first malformed record")
+	fs.BoolVar(&opts.stats, "stats", false, "print framing statistics per file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: mrtdump [-v] file.mrt...")
+		return fmt.Errorf("usage: mrtdump [-v] [-strict] [-stats] file.mrt...")
 	}
+	totalBad := 0
 	for _, path := range fs.Args() {
-		if err := dump(stdout, path, *verbose); err != nil {
+		bad, err := dump(stdout, path, opts)
+		if err != nil {
 			return err
 		}
+		totalBad += bad
+	}
+	if totalBad > 0 {
+		return fmt.Errorf("%d undecodable records skipped", totalBad)
 	}
 	return nil
 }
 
-func dump(stdout io.Writer, path string, verbose bool) error {
-	f, err := os.Open(path)
+// dump prints one file and returns how many records failed to decode.
+func dump(stdout io.Writer, path string, opts options) (int, error) {
+	f, err := ingest.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 
+	var stats mrt.Stats
+	var r *mrt.Reader
+	if opts.strict {
+		r = mrt.NewReader(f)
+	} else {
+		r = mrt.NewLenientReader(f, &stats)
+	}
 	counts := make(map[string]int)
-	r := mrt.NewReader(f)
+	skips := make(map[string]int)
 	var peers *mrt.PeerIndexTable
 	for {
 		rec, err := r.Next()
@@ -59,56 +91,97 @@ func dump(stdout io.Writer, path string, verbose bool) error {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return 0, fmt.Errorf("%s: %w", path, err)
 		}
-		switch {
-		case rec.Type == mrt.TypeTableDumpV2 && rec.Subtype == mrt.SubtypePeerIndexTable:
-			counts["TABLE_DUMP_V2/PEER_INDEX_TABLE"]++
-			peers, err = mrt.ParsePeerIndexTable(rec.Body)
-			if err != nil {
-				return err
+		key, derr := dumpRecord(stdout, rec, &peers, opts.verbose)
+		counts[key]++
+		if derr != nil {
+			if opts.strict {
+				return 0, fmt.Errorf("%s: record at offset %d: %w", path, rec.Offset, derr)
 			}
-			if verbose {
-				fmt.Fprintf(stdout, "PEER_INDEX_TABLE collector=%v view=%q peers=%d\n",
-					peers.CollectorBGPID, peers.ViewName, len(peers.Peers))
-			}
-		case rec.Type == mrt.TypeTableDumpV2 &&
-			(rec.Subtype == mrt.SubtypeRIBIPv4Unicast || rec.Subtype == mrt.SubtypeRIBIPv6Unicast):
-			counts["TABLE_DUMP_V2/RIB"]++
-			if !verbose {
-				continue
-			}
-			rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
-			if err != nil {
-				return err
-			}
+			skips[key]++
+			r.Reject(rec) // undecodable bodies may hide misframed records
+		}
+	}
+
+	fmt.Fprintf(stdout, "%s:\n", path)
+	for _, k := range sortedKeys(counts) {
+		fmt.Fprintf(stdout, "  %-40s %d\n", k, counts[k])
+	}
+	bad := 0
+	if len(skips) > 0 {
+		fmt.Fprintf(stdout, "  skipped undecodable records:\n")
+		for _, k := range sortedKeys(skips) {
+			fmt.Fprintf(stdout, "    %-38s %d\n", k, skips[k])
+			bad += skips[k]
+		}
+	}
+	if opts.stats {
+		fmt.Fprintf(stdout, "  framing: %d records, %d bytes read, %d resyncs, %d bytes skipped, %d truncated tails\n",
+			stats.Records, stats.BytesRead, stats.Resyncs, stats.BytesSkipped, stats.Truncated)
+	}
+	return bad + stats.Resyncs + stats.Truncated, nil
+}
+
+// dumpRecord decodes (and under -v prints) one record, returning its
+// per-type counter key and any decode error.
+func dumpRecord(stdout io.Writer, rec *mrt.Record, peers **mrt.PeerIndexTable, verbose bool) (string, error) {
+	switch {
+	case rec.Type == mrt.TypeTableDumpV2 && rec.Subtype == mrt.SubtypePeerIndexTable:
+		key := "TABLE_DUMP_V2/PEER_INDEX_TABLE"
+		t, err := mrt.ParsePeerIndexTable(rec.Body)
+		if err != nil {
+			return key, err
+		}
+		*peers = t
+		if verbose {
+			fmt.Fprintf(stdout, "PEER_INDEX_TABLE collector=%v view=%q peers=%d\n",
+				t.CollectorBGPID, t.ViewName, len(t.Peers))
+		}
+		return key, nil
+	case rec.Type == mrt.TypeTableDumpV2 &&
+		(rec.Subtype == mrt.SubtypeRIBIPv4Unicast || rec.Subtype == mrt.SubtypeRIBIPv6Unicast):
+		key := "TABLE_DUMP_V2/RIB"
+		rib, err := mrt.ParseRIB(rec.Subtype, rec.Body)
+		if err != nil {
+			return key, err
+		}
+		if verbose {
 			for _, e := range rib.Entries {
 				peerASN := uint32(0)
-				if peers != nil && int(e.PeerIndex) < len(peers.Peers) {
-					peerASN = peers.Peers[e.PeerIndex].ASN
+				if *peers != nil && int(e.PeerIndex) < len((*peers).Peers) {
+					peerASN = (*peers).Peers[e.PeerIndex].ASN
 				}
 				fmt.Fprintf(stdout, "RIB %v peer=AS%d path=[%s] comms=[%s]\n",
 					rib.Prefix, peerASN, e.Attrs.ASPath, e.Attrs.Communities)
 			}
-		case rec.Type == mrt.TypeBGP4MP || rec.Type == mrt.TypeBGP4MPET:
-			counts["BGP4MP"]++
-			if !verbose || rec.Subtype != mrt.SubtypeBGP4MPMessageAS4 {
-				continue
-			}
-			m, err := mrt.ParseBGP4MP(rec.Body)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(stdout, "UPDATE t=%d peer=AS%d %s\n", rec.Timestamp, m.PeerAS, summarizeBGP(m.Message))
-		default:
-			counts[fmt.Sprintf("type=%d/subtype=%d", rec.Type, rec.Subtype)]++
 		}
+		return key, nil
+	case rec.Type == mrt.TypeBGP4MP || rec.Type == mrt.TypeBGP4MPET:
+		key := "BGP4MP"
+		if rec.Subtype != mrt.SubtypeBGP4MPMessageAS4 {
+			return key, nil
+		}
+		m, err := mrt.ParseBGP4MP(rec.Body)
+		if err != nil {
+			return key, err
+		}
+		if verbose {
+			fmt.Fprintf(stdout, "UPDATE t=%d peer=AS%d %s\n", rec.Timestamp, m.PeerAS, summarizeBGP(m.Message))
+		}
+		return key, nil
+	default:
+		return fmt.Sprintf("type=%d/subtype=%d", rec.Type, rec.Subtype), nil
 	}
-	fmt.Fprintf(stdout, "%s:\n", path)
-	for k, v := range counts {
-		fmt.Fprintf(stdout, "  %-40s %d\n", k, v)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	return nil
+	sort.Strings(keys)
+	return keys
 }
 
 func summarizeBGP(wire []byte) string {

@@ -66,3 +66,59 @@ func TestRunErrors(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// corruptRIBFile clips the file mid-record and wrecks one record body,
+// producing both a framing failure and a decode failure.
+func corruptRIBFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First record is the peer table; stomp on the body of the second.
+	l0 := int(data[8])<<24 | int(data[9])<<16 | int(data[10])<<8 | int(data[11])
+	body2 := 12 + l0 + 12
+	for i := body2 + 4; i < body2+12 && i < len(data); i++ {
+		data[i] = 0xff
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLenientCorrupt(t *testing.T) {
+	path := writeRIBFile(t)
+	corruptRIBFile(t, path)
+	var out bytes.Buffer
+	err := run([]string{"-stats", path}, &out)
+	if err == nil {
+		t.Fatal("corrupted file exited cleanly")
+	}
+	if !strings.Contains(err.Error(), "undecodable") {
+		t.Errorf("error = %v, want undecodable-records summary", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "skipped undecodable records:") {
+		t.Errorf("output missing skip summary: %q", s)
+	}
+	if !strings.Contains(s, "framing:") {
+		t.Errorf("-stats output missing framing line: %q", s)
+	}
+	// The salvageable records still get counted.
+	if !strings.Contains(s, "TABLE_DUMP_V2/RIB") {
+		t.Errorf("output lost the per-type counts: %q", s)
+	}
+}
+
+func TestRunStrictCorrupt(t *testing.T) {
+	path := writeRIBFile(t)
+	corruptRIBFile(t, path)
+	var out bytes.Buffer
+	err := run([]string{"-strict", path}, &out)
+	if err == nil {
+		t.Fatal("-strict accepted a corrupted file")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("strict error %q carries no byte offset", err)
+	}
+}

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"bgpintent/internal/corpus"
+)
+
+func TestFaultToleranceTiny(t *testing.T) {
+	cfg := corpus.TinyConfig()
+	r, err := FaultTolerance(cfg, []float64{0, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "== faults:") || !strings.Contains(out, "clean corpus:") {
+		t.Errorf("render = %q", out)
+	}
+	if !strings.Contains(out, "rate=0.010") || !strings.Contains(out, "salvaged-tuples=") {
+		t.Errorf("missing corruption series: %q", out)
+	}
+	if acc := r.Metrics["accuracy_clean"]; acc < 0.9 {
+		t.Errorf("clean accuracy = %v, want >= 0.9", acc)
+	}
+	// The issue's acceptance bar: >= 95% of clean tuples survive a 1%
+	// record-corruption rate.
+	if salvage := r.Metrics["salvage_at_1pct"]; salvage < 0.95 {
+		t.Errorf("salvage at 1%% corruption = %v, want >= 0.95", salvage)
+	}
+	if r.Metrics["max_rate"] != 0.01 {
+		t.Errorf("max_rate = %v", r.Metrics["max_rate"])
+	}
+}

@@ -1,0 +1,235 @@
+// Package ingest is the fault-tolerant MRT file-loading layer between
+// the raw mrt decoder and the corpus facade. It opens archive files
+// (decompressing .gz/.bz2 as RouteViews and RIPE RIS ship them), streams
+// views out of them in strict or lenient mode, keeps per-file and
+// aggregate statistics, and enforces an error budget: a lenient load
+// aborts when a file's corruption rate exceeds a threshold, so silent
+// garbage cannot masquerade as a clean corpus.
+package ingest
+
+import (
+	"compress/bzip2"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bgpintent/internal/mrt"
+)
+
+// DefaultMaxErrorRate is the default error budget: the fraction of
+// corrupt records per file above which a lenient load aborts.
+const DefaultMaxErrorRate = 0.05
+
+// budgetMinSample is how many record attempts must accumulate before
+// the budget is enforced mid-stream; it keeps a single early bad record
+// in a huge file from tripping the rate check. The budget is always
+// re-checked, without the floor, when the file ends.
+const budgetMinSample = 128
+
+// Options control how files are ingested.
+type Options struct {
+	// Strict fails on the first malformed record, today's legacy
+	// behavior. Default is lenient: skip and resynchronize.
+	Strict bool
+	// MaxErrorRate is the lenient-mode error budget: 0 means
+	// DefaultMaxErrorRate, negative disables the budget entirely.
+	MaxErrorRate float64
+}
+
+func (o Options) limit() float64 {
+	switch {
+	case o.MaxErrorRate == 0:
+		return DefaultMaxErrorRate
+	case o.MaxErrorRate < 0:
+		return -1
+	default:
+		return o.MaxErrorRate
+	}
+}
+
+// BudgetError reports a file whose corruption rate exceeded the error
+// budget.
+type BudgetError struct {
+	Path  string
+	Rate  float64
+	Limit float64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("ingest: %s: corruption rate %.2f%% exceeds error budget %.2f%%",
+		e.Path, 100*e.Rate, 100*e.Limit)
+}
+
+// FileStats pairs one ingested file with its decode statistics.
+type FileStats struct {
+	Path string
+	mrt.Stats
+}
+
+// Stats aggregates ingestion statistics across a corpus load.
+type Stats struct {
+	Files []FileStats
+	Total mrt.Stats
+}
+
+func (s *Stats) add(path string, fs *mrt.Stats) {
+	if s == nil {
+		return
+	}
+	s.Files = append(s.Files, FileStats{Path: path, Stats: *fs})
+	s.Total.Merge(fs)
+}
+
+// Clean reports whether every file loaded without corruption events.
+func (s *Stats) Clean() bool { return s == nil || s.Total.Clean() }
+
+// Summary renders a one-line human-readable account of the load.
+func (s *Stats) Summary() string {
+	if s == nil {
+		return "no ingestion statistics"
+	}
+	t := &s.Total
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d files, %d records (%d decoded, %d unknown-type)",
+		len(s.Files), t.Records, t.Decoded, t.UnknownCount())
+	if t.Clean() {
+		b.WriteString(", no corruption")
+	} else {
+		fmt.Fprintf(&b, ", %d skipped, %d resyncs, %d truncated tails, %d bytes lost of %d read",
+			t.Skipped, t.Resyncs, t.Truncated, t.BytesSkipped, t.BytesRead)
+	}
+	return b.String()
+}
+
+// Open opens an MRT archive file, transparently decompressing .gz and
+// .bz2 by extension, as the RouteViews and RIS archives ship them.
+func Open(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".gz"):
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ingest: %s: %w", path, err)
+		}
+		return &wrappedCloser{Reader: zr, close: func() error { zr.Close(); return f.Close() }}, nil
+	case strings.HasSuffix(path, ".bz2"):
+		return &wrappedCloser{Reader: bzip2.NewReader(f), close: f.Close}, nil
+	default:
+		return f, nil
+	}
+}
+
+// wrappedCloser pairs a decompressing reader with the underlying file's
+// closer.
+type wrappedCloser struct {
+	io.Reader
+	close func() error
+}
+
+// Close closes the decompressor and the underlying file.
+func (w *wrappedCloser) Close() error { return w.close() }
+
+// scanOptions builds the mrt scanner configuration for one file,
+// wiring in the mid-stream budget check.
+func scanOptions(name string, opts Options, fs *mrt.Stats) mrt.ScanOptions {
+	so := mrt.ScanOptions{Lenient: !opts.Strict, Stats: fs}
+	limit := opts.limit()
+	if !opts.Strict && limit >= 0 {
+		so.Check = func(s *mrt.Stats) error {
+			if s.Attempts() >= budgetMinSample {
+				if rate := s.ErrorRate(); rate > limit {
+					return &BudgetError{Path: name, Rate: rate, Limit: limit}
+				}
+			}
+			return nil
+		}
+	}
+	return so
+}
+
+// finish records the file's stats and applies the final (no minimum
+// sample) budget check.
+func finish(name string, opts Options, stats *Stats, fs *mrt.Stats) error {
+	stats.add(name, fs)
+	if limit := opts.limit(); !opts.Strict && limit >= 0 {
+		if rate := fs.ErrorRate(); rate > limit {
+			return &BudgetError{Path: name, Rate: rate, Limit: limit}
+		}
+	}
+	return nil
+}
+
+// ScanRIBs streams every RIBView of a TABLE_DUMP_V2 file into fn.
+func ScanRIBs(path string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
+	rc, err := Open(path)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	return ScanRIBsFrom(rc, path, opts, stats, fn)
+}
+
+// ScanRIBsFrom is ScanRIBs over an already-open stream; name labels the
+// stream in errors and statistics.
+func ScanRIBsFrom(r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
+	fs := &mrt.Stats{}
+	sc := mrt.NewTableDumpScannerOptions(r, scanOptions(name, opts, fs))
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			stats.add(name, fs)
+			if _, ok := err.(*BudgetError); ok {
+				return err
+			}
+			return fmt.Errorf("ingest: %s: %w", name, err)
+		}
+		if err := fn(v); err != nil {
+			stats.add(name, fs)
+			return err
+		}
+	}
+	return finish(name, opts, stats, fs)
+}
+
+// ScanUpdates streams every decoded UpdateView of a BGP4MP file into fn.
+func ScanUpdates(path string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
+	rc, err := Open(path)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	return ScanUpdatesFrom(rc, path, opts, stats, fn)
+}
+
+// ScanUpdatesFrom is ScanUpdates over an already-open stream.
+func ScanUpdatesFrom(r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
+	fs := &mrt.Stats{}
+	sc := mrt.NewUpdateScannerOptions(r, scanOptions(name, opts, fs))
+	for {
+		v, err := sc.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			stats.add(name, fs)
+			if _, ok := err.(*BudgetError); ok {
+				return err
+			}
+			return fmt.Errorf("ingest: %s: %w", name, err)
+		}
+		if err := fn(v); err != nil {
+			stats.add(name, fs)
+			return err
+		}
+	}
+	return finish(name, opts, stats, fs)
+}

@@ -55,37 +55,96 @@ type RIBView struct {
 	Entry  RIBEntry
 }
 
+// ScanOptions configure the fault tolerance of a scanner.
+type ScanOptions struct {
+	// Lenient makes the scanner skip undecodable records (and resync
+	// over corrupt framing) instead of returning a sticky error.
+	Lenient bool
+	// Stats, if non-nil, receives per-stream decode statistics.
+	Stats *Stats
+	// Check, if non-nil, runs after every processed record with the
+	// current stats; a non-nil return aborts the scan with that sticky
+	// error. Ingestion uses it to enforce an error budget.
+	Check func(*Stats) error
+}
+
+func (o *ScanOptions) reader(r io.Reader) *Reader {
+	if o.Lenient {
+		return NewLenientReader(r, o.Stats)
+	}
+	rd := NewReader(r)
+	rd.stats = o.Stats
+	return rd
+}
+
+func (o *ScanOptions) check() error {
+	if o.Check == nil {
+		return nil
+	}
+	return o.Check(o.Stats)
+}
+
 // TableDumpScanner streams RIBViews out of a TABLE_DUMP_V2 file,
 // resolving peer indexes against the PEER_INDEX_TABLE. Records of other
 // types are skipped.
 type TableDumpScanner struct {
 	r       *Reader
+	opts    ScanOptions
 	table   *PeerIndexTable
 	current *RIB
+	curOff  int64
 	pos     int
 	err     error
 }
 
-// NewTableDumpScanner wraps an MRT stream.
+// NewTableDumpScanner wraps an MRT stream with strict decoding.
 func NewTableDumpScanner(r io.Reader) *TableDumpScanner {
-	return &TableDumpScanner{r: NewReader(r)}
+	return NewTableDumpScannerOptions(r, ScanOptions{})
+}
+
+// NewTableDumpScannerOptions wraps an MRT stream with the given fault
+// tolerance.
+func NewTableDumpScannerOptions(r io.Reader, opts ScanOptions) *TableDumpScanner {
+	if opts.Check != nil && opts.Stats == nil {
+		opts.Stats = &Stats{}
+	}
+	return &TableDumpScanner{r: opts.reader(r), opts: opts}
 }
 
 // PeerTable returns the peer index table, once one has been read.
 func (s *TableDumpScanner) PeerTable() *PeerIndexTable { return s.table }
+
+// Stats returns the scanner's statistics collector (nil unless one was
+// configured).
+func (s *TableDumpScanner) Stats() *Stats { return s.opts.Stats }
 
 // Next returns the next RIBView, or io.EOF at end of stream.
 func (s *TableDumpScanner) Next() (*RIBView, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
+	v, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return v, nil
+}
+
+func (s *TableDumpScanner) next() (*RIBView, error) {
 	for {
 		if s.current != nil && s.pos < len(s.current.Entries) {
 			e := s.current.Entries[s.pos]
 			s.pos++
 			if s.table == nil || int(e.PeerIndex) >= len(s.table.Peers) {
-				s.err = fmt.Errorf("mrt: RIB entry references peer index %d outside table", e.PeerIndex)
-				return nil, s.err
+				if !s.opts.Lenient {
+					return nil, fmt.Errorf("mrt: RIB record at offset %d: entry references peer index %d outside table", s.curOff, e.PeerIndex)
+				}
+				s.opts.Stats.noteSkip("peer-index-out-of-range")
+				if err := s.opts.check(); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			return &RIBView{
 				Peer:   s.table.Peers[e.PeerIndex],
@@ -95,30 +154,50 @@ func (s *TableDumpScanner) Next() (*RIBView, error) {
 		}
 		rec, err := s.r.Next()
 		if err != nil {
-			s.err = err
+			if err == io.EOF {
+				if cerr := s.opts.check(); cerr != nil {
+					return nil, cerr
+				}
+			}
 			return nil, err
 		}
 		if rec.Type != TypeTableDumpV2 {
-			continue
+			s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
+		} else {
+			switch rec.Subtype {
+			case SubtypePeerIndexTable:
+				t, perr := ParsePeerIndexTable(rec.Body)
+				if perr != nil {
+					if !s.opts.Lenient {
+						return nil, fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
+					}
+					s.opts.Stats.noteSkip("peer-index-table")
+					s.r.Reject(rec)
+				} else {
+					s.table = t
+					s.opts.Stats.noteDecoded()
+				}
+			case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+				rib, perr := ParseRIB(rec.Subtype, rec.Body)
+				if perr != nil {
+					if !s.opts.Lenient {
+						return nil, fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
+					}
+					s.opts.Stats.noteSkip("rib")
+					s.r.Reject(rec)
+				} else {
+					s.current = rib
+					s.curOff = rec.Offset
+					s.pos = 0
+					s.opts.Stats.noteDecoded()
+				}
+			default:
+				// Other TABLE_DUMP_V2 subtypes (multicast, generic) skipped.
+				s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
+			}
 		}
-		switch rec.Subtype {
-		case SubtypePeerIndexTable:
-			t, err := ParsePeerIndexTable(rec.Body)
-			if err != nil {
-				s.err = err
-				return nil, err
-			}
-			s.table = t
-		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
-			rib, err := ParseRIB(rec.Subtype, rec.Body)
-			if err != nil {
-				s.err = err
-				return nil, err
-			}
-			s.current = rib
-			s.pos = 0
-		default:
-			// Other TABLE_DUMP_V2 subtypes (multicast, generic) skipped.
+		if err := s.opts.check(); err != nil {
+			return nil, err
 		}
 	}
 }
@@ -165,69 +244,117 @@ type UpdateView struct {
 // UpdateScanner streams decoded updates out of a BGP4MP file. Non-UPDATE
 // BGP messages and non-BGP4MP records are skipped.
 type UpdateScanner struct {
-	r   *Reader
-	err error
+	r    *Reader
+	opts ScanOptions
+	err  error
 }
 
-// NewUpdateScanner wraps an MRT stream.
+// NewUpdateScanner wraps an MRT stream with strict decoding.
 func NewUpdateScanner(r io.Reader) *UpdateScanner {
-	return &UpdateScanner{r: NewReader(r)}
+	return NewUpdateScannerOptions(r, ScanOptions{})
 }
+
+// NewUpdateScannerOptions wraps an MRT stream with the given fault
+// tolerance.
+func NewUpdateScannerOptions(r io.Reader, opts ScanOptions) *UpdateScanner {
+	if opts.Check != nil && opts.Stats == nil {
+		opts.Stats = &Stats{}
+	}
+	return &UpdateScanner{r: opts.reader(r), opts: opts}
+}
+
+// Stats returns the scanner's statistics collector (nil unless one was
+// configured).
+func (s *UpdateScanner) Stats() *Stats { return s.opts.Stats }
 
 // Next returns the next decoded update, or io.EOF at end of stream.
 func (s *UpdateScanner) Next() (*UpdateView, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
+	v, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return v, nil
+}
+
+func (s *UpdateScanner) next() (*UpdateView, error) {
 	for {
 		rec, err := s.r.Next()
 		if err != nil {
-			s.err = err
+			if err == io.EOF {
+				if cerr := s.opts.check(); cerr != nil {
+					return nil, cerr
+				}
+			}
 			return nil, err
 		}
-		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
-			continue
-		}
-		body := rec.Body
-		if rec.Type == TypeBGP4MPET {
-			// Extended timestamp: 4 extra microsecond octets first.
-			if len(body) < 4 {
-				s.err = fmt.Errorf("mrt: BGP4MP_ET: short body")
-				return nil, s.err
-			}
-			body = body[4:]
-		}
-		var (
-			m    *BGP4MPMessage
-			perr error
-			asn  = 4
-		)
-		switch rec.Subtype {
-		case SubtypeBGP4MPMessageAS4:
-			m, perr = ParseBGP4MP(body)
-		case SubtypeBGP4MPMessage:
-			m, perr = ParseBGP4MPLegacy(body)
-			asn = 2
-		default:
-			continue
-		}
+		v, perr := s.decode(rec)
 		if perr != nil {
-			s.err = perr
-			return nil, perr
+			if !s.opts.Lenient {
+				return nil, fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
+			}
+			s.opts.Stats.noteSkip("bgp4mp")
+			s.r.Reject(rec)
+		} else if v != nil {
+			s.opts.Stats.noteDecoded()
 		}
-		if len(m.Message) >= 19 && m.Message[18] != bgp.MsgTypeUpdate {
-			continue // keepalive/open/notification
+		if err := s.opts.check(); err != nil {
+			return nil, err
 		}
-		upd, err := bgp.DecodeUpdateSized(m.Message, asn)
-		if err != nil {
-			s.err = fmt.Errorf("mrt: BGP4MP update: %w", err)
-			return nil, s.err
+		if v != nil && perr == nil {
+			return v, nil
 		}
-		return &UpdateView{
-			Timestamp: rec.Timestamp,
-			PeerAS:    m.PeerAS,
-			PeerAddr:  m.PeerAddr,
-			Update:    upd,
-		}, nil
 	}
+}
+
+// decode turns one record into an UpdateView. A nil view with a nil
+// error means the record is not a decodable BGP UPDATE (foreign type,
+// keepalive...) and carries no corruption signal.
+func (s *UpdateScanner) decode(rec *Record) (*UpdateView, error) {
+	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+		s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
+		return nil, nil
+	}
+	body := rec.Body
+	if rec.Type == TypeBGP4MPET {
+		// Extended timestamp: 4 extra microsecond octets first.
+		if len(body) < 4 {
+			return nil, fmt.Errorf("mrt: BGP4MP_ET: short body")
+		}
+		body = body[4:]
+	}
+	var (
+		m    *BGP4MPMessage
+		perr error
+		asn  = 4
+	)
+	switch rec.Subtype {
+	case SubtypeBGP4MPMessageAS4:
+		m, perr = ParseBGP4MP(body)
+	case SubtypeBGP4MPMessage:
+		m, perr = ParseBGP4MPLegacy(body)
+		asn = 2
+	default:
+		s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
+		return nil, nil
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	if len(m.Message) >= 19 && m.Message[18] != bgp.MsgTypeUpdate {
+		return nil, nil // keepalive/open/notification
+	}
+	upd, err := bgp.DecodeUpdateSized(m.Message, asn)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: BGP4MP update: %w", err)
+	}
+	return &UpdateView{
+		Timestamp: rec.Timestamp,
+		PeerAS:    m.PeerAS,
+		PeerAddr:  m.PeerAddr,
+		Update:    upd,
+	}, nil
 }

@@ -1,0 +1,297 @@
+package mrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"bgpintent/internal/bgp"
+)
+
+// buildRIBStream writes a peer table plus n RIB records and returns the
+// wire bytes along with each record's start offset.
+func buildRIBStream(t *testing.T, n int) ([]byte, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	table := &PeerIndexTable{
+		CollectorBGPID: netip.MustParseAddr("10.0.0.1"),
+		ViewName:       "lenient",
+		Peers: []Peer{
+			{BGPID: netip.MustParseAddr("10.1.0.1"), Addr: netip.MustParseAddr("198.51.100.1"), ASN: 65269},
+		},
+	}
+	tw, err := NewTableDumpWriter(&buf, 100, table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		entry := RIBEntry{
+			PeerIndex: 0,
+			Attrs: bgp.PathAttributes{
+				HasOrigin:   true,
+				ASPath:      bgp.NewASPath(65269, 64496),
+				Communities: bgp.Communities{bgp.NewCommunity(1299, uint16(i))},
+			},
+		}
+		prefix := bgp.MustParsePrefix("192.0.2.0/24")
+		if err := tw.WriteRIB(prefix, []RIBEntry{entry}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	var offsets []int64
+	for off := int64(0); off < int64(len(data)); {
+		offsets = append(offsets, off)
+		l := binary.BigEndian.Uint32(data[off+8 : off+12])
+		off += recordHeaderLen + int64(l)
+	}
+	return data, offsets
+}
+
+func drainReader(t *testing.T, r *Reader) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatalf("unexpected reader error: %v", err)
+		}
+		n++
+	}
+}
+
+func TestLenientMatchesStrictOnCleanStream(t *testing.T) {
+	data, offsets := buildRIBStream(t, 20)
+	var st Stats
+	lenient := drainReader(t, NewLenientReader(bytes.NewReader(data), &st))
+	strict := drainReader(t, NewReader(bytes.NewReader(data)))
+	if lenient != strict || lenient != len(offsets) {
+		t.Errorf("lenient read %d records, strict %d, want %d", lenient, strict, len(offsets))
+	}
+	if !st.Clean() {
+		t.Errorf("clean stream produced dirty stats: %+v", st)
+	}
+	if st.BytesRead != int64(len(data)) {
+		t.Errorf("BytesRead = %d, want %d", st.BytesRead, len(data))
+	}
+}
+
+func TestStrictErrorsCarryOffset(t *testing.T) {
+	data, offsets := buildRIBStream(t, 5)
+	bad := offsets[3]
+
+	t.Run("oversized length", func(t *testing.T) {
+		buf := append([]byte(nil), data...)
+		binary.BigEndian.PutUint32(buf[bad+8:bad+12], maxRecordLen+1)
+		r := NewReader(bytes.NewReader(buf))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err == io.EOF || !strings.Contains(err.Error(), "offset") {
+			t.Errorf("error = %v, want offset-bearing length error", err)
+		}
+	})
+
+	t.Run("truncated body", func(t *testing.T) {
+		buf := data[:bad+6] // cut inside record 3
+		r := NewReader(bytes.NewReader(buf))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err == io.EOF || !strings.Contains(err.Error(), "offset") {
+			t.Errorf("error = %v, want offset-bearing truncation error", err)
+		}
+	})
+}
+
+// TestLenientResyncSalvages corrupts one record's length field; the
+// lenient reader must resynchronize and deliver the records after it.
+func TestLenientResyncSalvages(t *testing.T) {
+	data, offsets := buildRIBStream(t, 20)
+	buf := append([]byte(nil), data...)
+	bad := offsets[5]
+	binary.BigEndian.PutUint32(buf[bad+8:bad+12], maxRecordLen+12345)
+
+	var st Stats
+	got := drainReader(t, NewLenientReader(bytes.NewReader(buf), &st))
+	// Everything except the corrupted record (and at worst a neighbor
+	// clipped by the resync scan) must survive.
+	if got < len(offsets)-2 {
+		t.Errorf("salvaged %d of %d records, stats=%+v", got, len(offsets), st)
+	}
+	if st.Resyncs == 0 {
+		t.Error("no resync recorded for a corrupt length field")
+	}
+	if st.Clean() {
+		t.Error("stats report a clean stream over corrupt input")
+	}
+	if st.BytesSkipped == 0 {
+		t.Error("no bytes counted as skipped during resync")
+	}
+}
+
+// TestLenientTruncatedTail cuts the stream mid-record; the lenient
+// reader must deliver everything before the cut and report one
+// truncated tail.
+func TestLenientTruncatedTail(t *testing.T) {
+	data, offsets := buildRIBStream(t, 10)
+	cut := offsets[8] + 7 // inside record 8's header region
+
+	var st Stats
+	got := drainReader(t, NewLenientReader(bytes.NewReader(data[:cut]), &st))
+	if got != 8 {
+		t.Errorf("salvaged %d records before the cut, want 8", got)
+	}
+	if st.Truncated != 1 {
+		t.Errorf("Truncated = %d, want 1 (stats=%+v)", st.Truncated, st)
+	}
+}
+
+// TestLenientGarbageOnly feeds pure garbage: no records, one recorded
+// corruption event, and termination.
+func TestLenientGarbageOnly(t *testing.T) {
+	garbage := bytes.Repeat([]byte("not mrt data at all "), 40)
+	var st Stats
+	got := drainReader(t, NewLenientReader(bytes.NewReader(garbage), &st))
+	if got != 0 {
+		t.Errorf("read %d records from garbage", got)
+	}
+	if st.Clean() {
+		t.Error("garbage input produced clean stats")
+	}
+}
+
+// TestLenientGarbageBetweenRecords splices garbage between two valid
+// records; resync must recover the second one.
+func TestLenientGarbageBetweenRecords(t *testing.T) {
+	data, offsets := buildRIBStream(t, 6)
+	splice := offsets[3]
+	var buf bytes.Buffer
+	buf.Write(data[:splice])
+	buf.Write(bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 64))
+	buf.Write(data[splice:])
+
+	var st Stats
+	got := drainReader(t, NewLenientReader(bytes.NewReader(buf.Bytes()), &st))
+	if got < len(offsets)-1 {
+		t.Errorf("salvaged %d of %d records around spliced garbage (stats=%+v)", got, len(offsets), st)
+	}
+	if st.Resyncs == 0 {
+		t.Error("no resync recorded over spliced garbage")
+	}
+}
+
+func TestLenientScannerSkipsBadRecord(t *testing.T) {
+	data, offsets := buildRIBStream(t, 10)
+	buf := append([]byte(nil), data...)
+	// Corrupt record 4's body so it frames fine but fails to parse:
+	// a bogus entry count makes ParseRIB run off the end of the body.
+	bodyStart := offsets[4] + recordHeaderLen
+	for i := bodyStart + 9; i < bodyStart+13; i++ {
+		buf[i] = 0xff
+	}
+
+	var st Stats
+	s := NewTableDumpScannerOptions(bytes.NewReader(buf), ScanOptions{Lenient: true, Stats: &st})
+	views := 0
+	for {
+		_, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("lenient scanner error: %v", err)
+		}
+		views++
+	}
+	if views != 9 {
+		t.Errorf("scanner yielded %d views, want 9 (stats=%+v)", views, st)
+	}
+	if st.Skipped == 0 {
+		t.Errorf("no skip recorded for the undecodable RIB record: %+v", st)
+	}
+
+	strict := NewTableDumpScanner(bytes.NewReader(buf))
+	var err error
+	for err == nil {
+		_, err = strict.Next()
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("strict scanner error = %v, want offset-bearing parse error", err)
+	}
+}
+
+func TestScanCheckAborts(t *testing.T) {
+	data, _ := buildRIBStream(t, 10)
+	wantErr := io.ErrClosedPipe
+	s := NewTableDumpScannerOptions(bytes.NewReader(data), ScanOptions{
+		Lenient: true,
+		Check: func(st *Stats) error {
+			if st.Records >= 3 {
+				return wantErr
+			}
+			return nil
+		},
+	})
+	var err error
+	for err == nil {
+		_, err = s.Next()
+	}
+	if err != wantErr {
+		t.Errorf("scan error = %v, want the check's error", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	var s Stats
+	s.addRecord()
+	s.addRecord()
+	s.noteDecoded()
+	s.noteSkip("rib")
+	s.noteUnknown(48, 2)
+	s.Resyncs++
+	if got := s.Attempts(); got != 3 {
+		t.Errorf("Attempts = %d, want 3", got)
+	}
+	if got := s.ErrorRate(); got <= 0.6 || got >= 0.7 {
+		t.Errorf("ErrorRate = %v, want 2/3", got)
+	}
+	if s.Clean() {
+		t.Error("dirty stats report clean")
+	}
+	if got := s.UnknownCount(); got != 1 {
+		t.Errorf("UnknownCount = %d, want 1", got)
+	}
+
+	var m Stats
+	m.Merge(&s)
+	m.Merge(&s)
+	if m.Records != 4 || m.Skipped != 2 || m.Resyncs != 2 || m.UnknownTypes["48/2"] != 2 || m.SkipReasons["rib"] != 2 {
+		t.Errorf("Merge accumulated %+v", m)
+	}
+
+	// The nil receiver is a no-op collector and never divides by zero.
+	var nilStats *Stats
+	nilStats.addRecord()
+	nilStats.noteSkip("x")
+	nilStats.noteUnknown(1, 2)
+	nilStats.Merge(&s)
+	if nilStats.Attempts() != 0 || nilStats.ErrorRate() != 0 || !nilStats.Clean() {
+		t.Error("nil Stats is not a clean no-op")
+	}
+	var empty Stats
+	if empty.ErrorRate() != 0 {
+		t.Error("empty stats have a nonzero error rate")
+	}
+}

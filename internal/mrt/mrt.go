@@ -7,6 +7,7 @@ package mrt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 
 // MRT record types (RFC 6396 §4).
 const (
+	TypeTableDump   uint16 = 12
 	TypeTableDumpV2 uint16 = 13
 	TypeBGP4MP      uint16 = 16
 	TypeBGP4MPET    uint16 = 17
@@ -46,55 +48,439 @@ const (
 // giant allocation.
 const maxRecordLen = 16 << 20
 
+// recordHeaderLen is the fixed MRT common-header size.
+const recordHeaderLen = 12
+
 // Record is one MRT record: the common header plus its undecoded body.
 type Record struct {
+	Offset    int64  // byte offset of the record header in the stream
 	Timestamp uint32 // seconds since the Unix epoch
 	Type      uint16
 	Subtype   uint16
 	Body      []byte
 }
 
-// Reader streams MRT records from an io.Reader.
-type Reader struct {
-	br  *bufio.Reader
-	err error
+// Stats counts decode outcomes over one MRT stream (or, merged, over a
+// whole corpus load). The reader fills the framing fields; the scanners
+// fill the record-decode fields. A nil *Stats is accepted everywhere
+// and disables collection.
+type Stats struct {
+	Records      int   // records framed by the reader
+	Decoded      int   // framed records whose body decoded cleanly
+	Skipped      int   // records (or RIB entries) dropped as undecodable
+	Resyncs      int   // framing failures recovered by resynchronization
+	Truncated    int   // streams that ended in the middle of a record
+	BytesRead    int64 // bytes consumed from the stream
+	BytesSkipped int64 // bytes discarded while hunting for a valid header
+
+	// UnknownTypes counts records of types/subtypes the scanner does not
+	// decode, keyed "type/subtype". Unknown records are normal in real
+	// archives and do not count against the error rate.
+	UnknownTypes map[string]int
+	// SkipReasons breaks Skipped down by cause.
+	SkipReasons map[string]int
 }
 
-// NewReader returns a streaming MRT record reader.
+func (s *Stats) addRecord() {
+	if s != nil {
+		s.Records++
+	}
+}
+
+func (s *Stats) noteDecoded() {
+	if s != nil {
+		s.Decoded++
+	}
+}
+
+func (s *Stats) noteSkip(reason string) {
+	if s == nil {
+		return
+	}
+	s.Skipped++
+	if s.SkipReasons == nil {
+		s.SkipReasons = make(map[string]int)
+	}
+	s.SkipReasons[reason]++
+}
+
+func (s *Stats) noteUnknown(typ, subtype uint16) {
+	if s == nil {
+		return
+	}
+	if s.UnknownTypes == nil {
+		s.UnknownTypes = make(map[string]int)
+	}
+	s.UnknownTypes[fmt.Sprintf("%d/%d", typ, subtype)]++
+}
+
+// Attempts returns the number of record-level framing and decode
+// attempts the error rate is measured over.
+func (s *Stats) Attempts() int {
+	if s == nil {
+		return 0
+	}
+	return s.Records + s.Resyncs + s.Truncated
+}
+
+// ErrorRate returns the fraction of attempts that hit corruption:
+// undecodable records, resyncs, and truncated tails. 0 for an empty
+// stream; capped at 1.
+func (s *Stats) ErrorRate() float64 {
+	att := s.Attempts()
+	if att == 0 {
+		return 0
+	}
+	rate := float64(s.Skipped+s.Resyncs+s.Truncated) / float64(att)
+	if rate > 1 {
+		return 1
+	}
+	return rate
+}
+
+// Clean reports whether the stream decoded without any corruption
+// events (unknown record types are still clean).
+func (s *Stats) Clean() bool {
+	return s == nil || (s.Skipped == 0 && s.Resyncs == 0 && s.Truncated == 0)
+}
+
+// Merge accumulates o into s.
+func (s *Stats) Merge(o *Stats) {
+	if s == nil || o == nil {
+		return
+	}
+	s.Records += o.Records
+	s.Decoded += o.Decoded
+	s.Skipped += o.Skipped
+	s.Resyncs += o.Resyncs
+	s.Truncated += o.Truncated
+	s.BytesRead += o.BytesRead
+	s.BytesSkipped += o.BytesSkipped
+	for k, v := range o.UnknownTypes {
+		if s.UnknownTypes == nil {
+			s.UnknownTypes = make(map[string]int)
+		}
+		s.UnknownTypes[k] += v
+	}
+	for k, v := range o.SkipReasons {
+		if s.SkipReasons == nil {
+			s.SkipReasons = make(map[string]int)
+		}
+		s.SkipReasons[k] += v
+	}
+}
+
+// UnknownCount returns the total number of unknown-type records.
+func (s *Stats) UnknownCount() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, v := range s.UnknownTypes {
+		n += v
+	}
+	return n
+}
+
+// Reader streams MRT records from an io.Reader.
+//
+// In strict mode (NewReader) any malformed record is a sticky error, as
+// RFC 6396 framing demands. In lenient mode (NewLenientReader) framing
+// failures — impossible length fields, truncated tails — skip forward
+// to the next plausible record header instead of poisoning the stream,
+// and the damage is tallied in a Stats.
+type Reader struct {
+	br      *bufio.Reader
+	err     error
+	offset  int64
+	lenient bool
+	stats   *Stats
+	rejects int
+}
+
+// NewReader returns a strict streaming MRT record reader.
 func NewReader(r io.Reader) *Reader {
 	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
 }
 
+// NewLenientReader returns a reader that skips and resynchronizes over
+// corrupt framing instead of failing. stats may be nil.
+func NewLenientReader(r io.Reader, stats *Stats) *Reader {
+	rd := NewReader(r)
+	rd.lenient = true
+	rd.stats = stats
+	return rd
+}
+
+// Offset returns the byte offset of the next unread byte, counted over
+// the (decompressed) stream.
+func (r *Reader) Offset() int64 { return r.offset }
+
+// discard consumes n buffered bytes, keeping the offset accurate.
+func (r *Reader) discard(n int) {
+	consumed, _ := r.br.Discard(n)
+	r.offset += int64(consumed)
+	if r.stats != nil {
+		r.stats.BytesRead += int64(consumed)
+	}
+}
+
+// skip consumes n buffered bytes and counts them as corruption loss.
+func (r *Reader) skip(n int) {
+	if r.stats != nil {
+		r.stats.BytesSkipped += int64(n)
+	}
+	r.discard(n)
+}
+
 // Next returns the next record, or io.EOF at a clean end of stream. Any
-// error is sticky.
+// error is sticky. In lenient mode the only errors are io.EOF and
+// failures of the underlying reader.
 func (r *Reader) Next() (*Record, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	var hdr [12]byte
-	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			err = fmt.Errorf("mrt: truncated record header: %w", err)
-		}
+	rec, err := r.next()
+	if err != nil {
 		r.err = err
 		return nil, err
 	}
-	rec := &Record{
-		Timestamp: binary.BigEndian.Uint32(hdr[0:4]),
-		Type:      binary.BigEndian.Uint16(hdr[4:6]),
-		Subtype:   binary.BigEndian.Uint16(hdr[6:8]),
-	}
-	n := binary.BigEndian.Uint32(hdr[8:12])
-	if n > maxRecordLen {
-		r.err = fmt.Errorf("mrt: record length %d exceeds limit", n)
-		return nil, r.err
-	}
-	rec.Body = make([]byte, n)
-	if _, err := io.ReadFull(r.br, rec.Body); err != nil {
-		r.err = fmt.Errorf("mrt: truncated record body: %w", err)
-		return nil, r.err
-	}
 	return rec, nil
+}
+
+func (r *Reader) next() (*Record, error) {
+	for {
+		hdr, err := r.br.Peek(recordHeaderLen)
+		if err != nil {
+			if len(hdr) == 0 {
+				return nil, err // io.EOF at a record boundary, or a read error
+			}
+			if err != io.EOF {
+				return nil, err
+			}
+			// Partial header at end of stream.
+			if r.lenient {
+				if r.stats != nil {
+					r.stats.Truncated++
+				}
+				r.skip(len(hdr))
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("mrt: truncated record header at offset %d: %w", r.offset, io.ErrUnexpectedEOF)
+		}
+		// hdr aliases the bufio buffer, which the deeper Peek inside
+		// frameLooksSound may slide; copy it before looking ahead.
+		var h [recordHeaderLen]byte
+		copy(h[:], hdr)
+		n := binary.BigEndian.Uint32(h[8:12])
+		if n > maxRecordLen {
+			if !r.lenient {
+				return nil, fmt.Errorf("mrt: record length %d exceeds limit at offset %d", n, r.offset)
+			}
+			if err := r.resync(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if r.lenient && int(n)+recordHeaderLen <= resyncWindow {
+			if win, _ := r.br.Peek(recordHeaderLen + int(n)); len(win) < recordHeaderLen+int(n) {
+				// The stream ends inside this frame. Either the tail
+				// really is cut, or a corrupt length points past the
+				// end of the file; in both cases hunt for a later
+				// record instead of swallowing everything to EOF.
+				if r.stats != nil {
+					r.stats.Truncated++
+				}
+				if err := r.hunt(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if r.lenient && !r.frameLooksSound(int(n)) {
+			// The header that would follow this frame announces an
+			// impossible length, so this record's own length field is
+			// almost certainly corrupt (a truncated or bit-flipped
+			// record would otherwise drag the reader out of sync and
+			// swallow everything up to end of file). Strict mode would
+			// fail on that following header anyway; resync now instead
+			// of consuming a bogus frame.
+			if err := r.resync(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rec := &Record{
+			Offset:    r.offset,
+			Timestamp: binary.BigEndian.Uint32(h[0:4]),
+			Type:      binary.BigEndian.Uint16(h[4:6]),
+			Subtype:   binary.BigEndian.Uint16(h[6:8]),
+			Body:      make([]byte, n),
+		}
+		r.discard(recordHeaderLen)
+		m, err := io.ReadFull(r.br, rec.Body)
+		r.offset += int64(m)
+		if r.stats != nil {
+			r.stats.BytesRead += int64(m)
+		}
+		if err != nil {
+			if r.lenient {
+				// The stream ends inside this record: salvage nothing from
+				// it, report a truncated tail.
+				if r.stats != nil {
+					r.stats.Truncated++
+					r.stats.BytesSkipped += int64(recordHeaderLen + m)
+				}
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("mrt: truncated record body at offset %d: %w", rec.Offset, err)
+		}
+		r.stats.addRecord()
+		return rec, nil
+	}
+}
+
+// frameLooksSound cross-checks a candidate frame of body length n
+// against the 12 bytes that would follow it: if those carry a length
+// field over the cap they cannot be a record header, which means the
+// current length field is lying about where the next record starts (a
+// truncated or bit-flipped record would otherwise drag the reader out
+// of sync and silently swallow real records). Only a definite
+// contradiction returns false — the follow-on position is exactly where
+// strict mode would frame the next record, and strict mode dies on an
+// over-cap length, so at a trusted boundary lenient mode still takes
+// exactly what strict mode takes. The check is deliberately weaker than
+// plausibleHeader: a sane length with an unknown type must pass,
+// because strict mode would read it happily. One hop only: looking
+// deeper would let a single corrupt record ahead condemn a run of good
+// frames before it. Frames whose follow-on header extends past the
+// peekable window, or past a clean end of stream, are accepted.
+func (r *Reader) frameLooksSound(n int) bool {
+	total := recordHeaderLen + n + recordHeaderLen
+	win, _ := r.br.Peek(total)
+	if len(win) < total {
+		return true
+	}
+	next := win[recordHeaderLen+n:]
+	return binary.BigEndian.Uint32(next[8:12]) <= maxRecordLen
+}
+
+// maxRejects bounds how many record pushbacks one stream will honor;
+// beyond it Reject degrades to today's skip-the-record behavior, which
+// keeps adversarial input from stacking pushback readers without bound.
+const maxRejects = 64
+
+// Reject pushes the most recently returned record's wire bytes back
+// into the stream and re-synchronizes inside them. The lenient scanners
+// call it when a record that framed cleanly fails to parse: after
+// mid-record truncation the reader silently drifts out of alignment,
+// and the first misframed record typically has real records swallowed
+// inside its body — rescanning the rejected bytes recovers them and
+// re-anchors the stream. Calling it with anything but the last record
+// returned corrupts offset accounting. No-op in strict mode, on bodies
+// too small to hide a record, and past the pushback cap.
+func (r *Reader) Reject(rec *Record) {
+	if !r.lenient || rec == nil || len(rec.Body) < 2*recordHeaderLen || r.rejects >= maxRejects || r.err != nil {
+		return
+	}
+	r.rejects++
+	wire := make([]byte, recordHeaderLen+len(rec.Body))
+	binary.BigEndian.PutUint32(wire[0:4], rec.Timestamp)
+	binary.BigEndian.PutUint16(wire[4:6], rec.Type)
+	binary.BigEndian.PutUint16(wire[6:8], rec.Subtype)
+	binary.BigEndian.PutUint32(wire[8:12], uint32(len(rec.Body)))
+	copy(wire[recordHeaderLen:], rec.Body)
+	// Rewind the accounting and splice the bytes back in front of the
+	// stream; the hunt below re-counts whatever it consumes.
+	r.offset -= int64(len(wire))
+	if r.stats != nil {
+		r.stats.BytesRead -= int64(len(wire))
+	}
+	r.br = bufio.NewReaderSize(io.MultiReader(bytes.NewReader(wire), r.br), 1<<16)
+	if err := r.hunt(); err != nil {
+		r.err = err
+	}
+}
+
+// resyncWindow is how far ahead resync scans per Peek; it matches the
+// reader's buffer size.
+const resyncWindow = 1 << 16
+
+// resync discards bytes until the stream is positioned at a plausible
+// MRT record header (see plausibleHeader): the recovery path after a
+// corrupt length field. It always makes at least one byte of progress.
+func (r *Reader) resync() error {
+	if r.stats != nil {
+		r.stats.Resyncs++
+	}
+	return r.hunt()
+}
+
+// hunt is resync's scan loop, also used for truncated-frame recovery
+// (which counts against Truncated rather than Resyncs).
+func (r *Reader) hunt() error {
+	r.skip(1) // never re-match at the failure point
+	for {
+		win, err := r.br.Peek(resyncWindow)
+		if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+			return err
+		}
+		if len(win) < recordHeaderLen {
+			r.skip(len(win))
+			return io.EOF
+		}
+		for i := 0; i+recordHeaderLen <= len(win); i++ {
+			if plausibleAt(win, i) {
+				r.skip(i)
+				return nil
+			}
+		}
+		// No candidate in the window: keep the last 11 bytes in case a
+		// header straddles the boundary, and refill.
+		r.skip(len(win) - (recordHeaderLen - 1))
+		if err == io.EOF {
+			r.skip(recordHeaderLen - 1)
+			return io.EOF
+		}
+	}
+}
+
+// plausibleHeader reports whether the 12 bytes look like the header of
+// a real MRT record: a known type, a valid subtype for it, and a length
+// under the cap. Used only while hunting for a resync point — at a
+// trusted record boundary the reader accepts exactly what strict mode
+// accepts.
+func plausibleHeader(hdr []byte) bool {
+	typ := binary.BigEndian.Uint16(hdr[4:6])
+	sub := binary.BigEndian.Uint16(hdr[6:8])
+	if binary.BigEndian.Uint32(hdr[8:12]) > maxRecordLen {
+		return false
+	}
+	switch typ {
+	case TypeTableDumpV2:
+		// Subtypes 1-6: peer index, RIB unicast/multicast v4/v6, generic.
+		return sub >= 1 && sub <= 6
+	case TypeBGP4MP, TypeBGP4MPET:
+		// RFC 6396 + RFC 8050 define subtypes 0-11.
+		return sub <= 11
+	case TypeTableDump:
+		return sub == 1 || sub == 2 // AFI IPv4 / IPv6
+	}
+	return false
+}
+
+// plausibleAt checks a candidate header at win[i:], and when the whole
+// candidate record fits in the window, demands that it is followed by
+// another plausible header or the end of the window.
+func plausibleAt(win []byte, i int) bool {
+	if !plausibleHeader(win[i : i+recordHeaderLen]) {
+		return false
+	}
+	next := i + recordHeaderLen + int(binary.BigEndian.Uint32(win[i+8:i+12]))
+	if next+recordHeaderLen <= len(win) {
+		return plausibleHeader(win[next : next+recordHeaderLen])
+	}
+	return true
 }
 
 // Writer emits MRT records to an io.Writer.
