@@ -1,0 +1,127 @@
+package bgpintent
+
+// BENCH_pipeline.json emission harness. Gated behind
+// BGPINTENT_BENCH_PIPELINE=1 because it runs the full load+classify
+// pipeline several times at benchmark fidelity:
+//
+//	BGPINTENT_BENCH_PIPELINE=1 go test -run TestEmitPipelineBench -v .
+//
+// It measures the sequential path (Parallelism=1) against parallel
+// worker counts for MRT load, classify, and the end-to-end pipeline,
+// and writes machine-readable results (ns/op, B/op, allocs/op,
+// speedup vs sequential) plus the host parallelism context to
+// BENCH_pipeline.json in the working directory.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+type pipelineBenchResult struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	SpeedupVs1  float64 `json:"speedup_vs_sequential"`
+}
+
+type pipelineBenchReport struct {
+	GoVersion  string                `json:"go_version"`
+	NumCPU     int                   `json:"num_cpu"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	CorpusDays int                   `json:"corpus_days"`
+	RIBFiles   int                   `json:"rib_files"`
+	Tuples     int                   `json:"tuples"`
+	Results    []pipelineBenchResult `json:"results"`
+}
+
+// TestEmitPipelineBench measures sequential vs parallel load and
+// classification and writes BENCH_pipeline.json.
+func TestEmitPipelineBench(t *testing.T) {
+	if os.Getenv("BGPINTENT_BENCH_PIPELINE") != "1" {
+		t.Skip("set BGPINTENT_BENCH_PIPELINE=1 to run the pipeline bench harness")
+	}
+	days := benchDays()
+	ribs, err := writeBenchMRT(days)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report := &pipelineBenchReport{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CorpusDays: days,
+		RIBFiles:   len(ribs),
+	}
+
+	// One warm load to size the fixture for the report and to feed the
+	// classify benchmarks.
+	warm, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Tuples = warm.Tuples()
+
+	workerCounts := []int{1, 2, 4, 8}
+	measure := func(name string, workers int, fn func()) testing.BenchmarkResult {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		t.Logf("%s workers=%d: %s %s", name, workers, res.String(), res.MemString())
+		return res
+	}
+	record := func(name string, run func(workers int)) {
+		var seqNs int64
+		for _, w := range workerCounts {
+			w := w
+			res := measure(name, w, func() { run(w) })
+			r := pipelineBenchResult{
+				Name:        name,
+				Workers:     w,
+				NsPerOp:     res.NsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+			}
+			if w == 1 {
+				seqNs = r.NsPerOp
+			}
+			if seqNs > 0 {
+				r.SpeedupVs1 = float64(seqNs) / float64(r.NsPerOp)
+			}
+			report.Results = append(report.Results, r)
+		}
+	}
+
+	record("load_mrt", func(workers int) {
+		if _, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: workers}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	record("classify", func(workers int) {
+		warm.Classify(Params{Parallelism: workers})
+	})
+	record("pipeline", func(workers int) {
+		c, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Classify(Params{Parallelism: workers})
+	})
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile("BENCH_pipeline.json", out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_pipeline.json (%d results)", len(report.Results))
+}

@@ -9,7 +9,9 @@ package bgpintent
 
 import (
 	"bytes"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -244,6 +246,131 @@ func BenchmarkTupleStoreAdd(b *testing.B) {
 			v := &day.Views[j]
 			ts.AddView(v.VP, v.Path, v.Comms)
 		}
+	}
+}
+
+// ---- parallel pipeline benchmarks ----
+
+var (
+	benchMRTOnce  sync.Once
+	benchMRTRibs  []string
+	benchMRTError error
+)
+
+// writeBenchMRT writes a fresh default-scale corpus out as
+// per-collector, per-day MRT RIB files under a temp dir and returns
+// their paths. A fresh simulator (Days=0) is used so day replay starts
+// from a clean state regardless of what benchCorpus already simulated.
+func writeBenchMRT(days int) ([]string, error) {
+	cfg := corpus.DefaultConfig()
+	cfg.Days = 0
+	c, err := corpus.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bgpintent-bench-mrt")
+	if err != nil {
+		return nil, err
+	}
+	var ribs []string
+	const t0 = 1714521600
+	for day := 0; day < days; day++ {
+		res := c.Sim.RunDay(day)
+		for col := 0; col < c.Sim.Collectors(); col++ {
+			path := filepath.Join(dir, fmt.Sprintf("rc%02d.day%d.rib.mrt", col, day))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.Sim.WriteRIB(f, uint32(t0+day*86400), col, res); err != nil {
+				f.Close()
+				return nil, err
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			ribs = append(ribs, path)
+		}
+	}
+	return ribs, nil
+}
+
+// benchDays returns the benchmark day count (BGPINTENT_BENCH_DAYS,
+// default 2).
+func benchDays() int {
+	days := 2
+	if v := os.Getenv("BGPINTENT_BENCH_DAYS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			days = n
+		}
+	}
+	return days
+}
+
+// benchMRTFiles memoizes writeBenchMRT for the in-tree benchmarks.
+func benchMRTFiles(b *testing.B) []string {
+	b.Helper()
+	benchMRTOnce.Do(func() {
+		benchMRTRibs, benchMRTError = writeBenchMRT(benchDays())
+	})
+	if benchMRTError != nil {
+		b.Fatal(benchMRTError)
+	}
+	return benchMRTRibs
+}
+
+// BenchmarkLoadMRTParallel measures the fan-out MRT load (decode into
+// the sharded store plus the deterministic merge) across worker counts.
+func BenchmarkLoadMRTParallel(b *testing.B) {
+	ribs := benchMRTFiles(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c, _, err := LoadMRTCorpusOptions(ribs, nil, "",
+					LoadOptions{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.Tuples() == 0 {
+					b.Fatal("empty corpus")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObserveParallel measures the partitioned on/off-path
+// counting pass across worker counts.
+func BenchmarkObserveParallel(b *testing.B) {
+	c := benchCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := c.Options()
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Observe(c.Store, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkClassifyParallel measures the full observe+cluster+label
+// pipeline across worker counts.
+func BenchmarkClassifyParallel(b *testing.B) {
+	c := benchCorpus(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := c.Options()
+			opts.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Classify(c.Store, opts)
+			}
+		})
 	}
 }
 

@@ -98,6 +98,10 @@ type Params struct {
 	// RatioThreshold is the on-path:off-path ratio at or above which a
 	// mixed cluster is information (paper: 160).
 	RatioThreshold float64
+	// Parallelism bounds the classifier's worker pool: 0 means one
+	// worker per CPU (GOMAXPROCS), 1 forces sequential execution.
+	// Results are identical for every setting.
+	Parallelism int
 }
 
 // DefaultParams returns the paper's parameters (gap 140, ratio 160:1).
@@ -160,6 +164,10 @@ type LoadOptions struct {
 	// fraction of corrupt records above which the load aborts. 0 means
 	// DefaultMaxErrorRate; negative disables the budget.
 	MaxErrorRate float64
+	// Parallelism bounds concurrent file ingestion: 0 means one worker
+	// per CPU (GOMAXPROCS), 1 forces the sequential load path. Any
+	// setting produces an identical corpus and identical LoadStats.
+	Parallelism int
 }
 
 // LoadStats summarizes what an MRT load salvaged and what it dropped.
@@ -219,32 +227,40 @@ func LoadMRTCorpus(ribPaths, updatePaths []string, orgPath string) (*Corpus, err
 // options, also returning ingestion statistics (valid even when the
 // load fails, covering the files processed so far).
 func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts LoadOptions) (*Corpus, LoadStats, error) {
-	c := &Corpus{store: core.NewTupleStore(), orgs: asrel.NewOrgMap()}
+	c := &Corpus{orgs: asrel.NewOrgMap()}
 	iopts := ingest.Options{Strict: opts.Strict, MaxErrorRate: opts.MaxErrorRate}
 	ist := &ingest.Stats{}
+
+	files := make([]ingest.InputFile, 0, len(ribPaths)+len(updatePaths))
 	for _, path := range ribPaths {
-		err := ingest.ScanRIBs(path, iopts, ist, func(v *mrt.RIBView) error {
-			c.store.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
-			c.store.NoteLarge(v.Entry.Attrs.LargeCommunities)
-			return nil
-		})
-		if err != nil {
-			return nil, loadStats(ist), err
-		}
+		files = append(files, ingest.InputFile{Path: path})
 	}
 	for _, path := range updatePaths {
-		err := ingest.ScanUpdates(path, iopts, ist, func(v *mrt.UpdateView) error {
+		files = append(files, ingest.InputFile{Path: path, Updates: true})
+	}
+
+	// One decode worker per file, each feeding the sharded store; the
+	// deterministic merge makes the corpus independent of scheduling.
+	sts := core.NewShardedTupleStore(4 * core.ResolveWorkers(opts.Parallelism))
+	err := ingest.ScanParallel(files, iopts, opts.Parallelism, ist,
+		func(v *mrt.RIBView) error {
+			sts.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
+			sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
+			return nil
+		},
+		func(v *mrt.UpdateView) error {
 			if len(v.Update.NLRI) == 0 {
 				return nil // pure withdrawals carry no tuple
 			}
-			c.store.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
-			c.store.NoteLarge(v.Update.Attrs.LargeCommunities)
+			sts.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
+			sts.NoteLarge(v.Update.Attrs.LargeCommunities)
 			return nil
 		})
-		if err != nil {
-			return nil, loadStats(ist), err
-		}
+	if err != nil {
+		return nil, loadStats(ist), err
 	}
+	c.store = sts.Merge()
+
 	if orgPath != "" {
 		f, err := os.Open(orgPath)
 		if err != nil {
@@ -292,6 +308,7 @@ func (c *Corpus) Classify(p Params) *Result {
 		opts.MinGap = p.MinGap
 		opts.RatioThreshold = p.RatioThreshold
 	}
+	opts.Workers = p.Parallelism
 	opts.Orgs = c.orgs
 	inf := core.Classify(c.store, opts)
 	return &Result{inf: inf}

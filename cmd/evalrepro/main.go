@@ -5,6 +5,7 @@
 //
 //	evalrepro [-exp all|headline|fig4|fig6|fig7|fig9|fig10|days|months|tab1|ablation|seeds|fine|faults]
 //	          [-scale tiny|default] [-seed N] [-days N] [-trials N] [-months N]
+//	          [-parallelism N] [-cpuprofile cpu.pb] [-memprofile mem.pb]
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bgpintent/internal/corpus"
@@ -30,15 +33,44 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("evalrepro", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment id(s), comma separated, or 'all'")
-		scale  = fs.String("scale", "default", "corpus scale: tiny, default or large")
-		seed   = fs.Int64("seed", 1, "corpus seed")
-		days   = fs.Int("days", 7, "days of data for corpus experiments")
-		trials = fs.Int("trials", 50, "trials for the vantage-point experiment")
-		months = fs.Int("months", 12, "months for the longitudinal experiment")
+		exp     = fs.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		scale   = fs.String("scale", "default", "corpus scale: tiny, default or large")
+		seed    = fs.Int64("seed", 1, "corpus seed")
+		days    = fs.Int("days", 7, "days of data for corpus experiments")
+		trials  = fs.Int("trials", 50, "trials for the vantage-point experiment")
+		months  = fs.Int("months", 12, "months for the longitudinal experiment")
+		par     = fs.Int("parallelism", 0, "classifier workers (0 = one per CPU, 1 = sequential)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	cfg := corpus.DefaultConfig()
@@ -53,6 +85,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	cfg.Seed = *seed
 	cfg.Days = *days
+	cfg.Workers = *par
 
 	wanted := strings.Split(*exp, ",")
 	known := map[string]bool{

@@ -11,7 +11,8 @@
 //
 //	intentinfer -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	            -as2org corpus/as2org.txt [-gap 140] [-ratio 160] [-o out.tsv]
-//	            [-strict] [-max-error-rate 0.05]
+//	            [-strict] [-max-error-rate 0.05] [-parallelism N]
+//	            [-cpuprofile cpu.pb] [-memprofile mem.pb]
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"bgpintent"
 )
@@ -45,9 +48,38 @@ func run(args []string, stdout io.Writer) error {
 		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
 		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
 			"abort when a file's corruption rate exceeds this fraction (negative disables)")
+		par     = fs.Int("parallelism", 0, "ingest/classifier workers (0 = one per CPU, 1 = sequential)")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	ribs, err := expand(*ribGlob)
@@ -63,7 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	c, stats, err := bgpintent.LoadMRTCorpusOptions(ribs, updates, *as2org,
-		bgpintent.LoadOptions{Strict: *strict, MaxErrorRate: *maxErr})
+		bgpintent.LoadOptions{Strict: *strict, MaxErrorRate: *maxErr, Parallelism: *par})
 	if err != nil {
 		return err
 	}
@@ -73,7 +105,7 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large, not classified)\n",
 		len(c.Communities()), c.LargeCommunities())
 
-	res := c.Classify(bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio})
+	res := c.Classify(bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio, Parallelism: *par})
 	action, info := res.Counts()
 	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
 

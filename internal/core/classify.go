@@ -34,6 +34,11 @@ type Options struct {
 	// PooledRatio computes a cluster's ratio as sum(on)/sum(off) instead
 	// of the paper's mean of per-community ratios (ablation).
 	PooledRatio bool
+
+	// Workers bounds the classifier's parallelism: 0 means one worker
+	// per CPU (GOMAXPROCS), 1 forces sequential execution. Results are
+	// identical for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -151,8 +156,15 @@ func (os *ObservationSet) AlphaOnPath(alpha uint32) bool {
 	return false
 }
 
+// minParallelTuples is the tuple count below which Observe stays
+// sequential; tiny inputs are not worth goroutine startup.
+const minParallelTuples = 4096
+
 // Observe computes per-community on/off-path statistics over unique AS
-// paths, honoring the VP filter and sibling awareness in opts.
+// paths, honoring the VP filter and sibling awareness in opts. With
+// opts.Workers != 1 the two passes — tuple scanning and per-community
+// path counting — are partitioned across a worker pool; results are
+// identical to the sequential computation for every worker count.
 func Observe(ts *TupleStore, opts Options) *ObservationSet {
 	os := &ObservationSet{
 		Stats:     make(map[bgp.Community]*CommunityStats),
@@ -161,55 +173,110 @@ func Observe(ts *TupleStore, opts Options) *ObservationSet {
 		orgs:      opts.Orgs,
 	}
 
-	// Collect, per community, the IDs of unique paths it appeared on.
-	commPaths := make(map[bgp.Community][]int32)
-	pathSeen := make(map[int32]bool)
-	for _, t := range ts.Tuples() {
-		if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
-			continue
+	tuples := ts.Tuples()
+	workers := ResolveWorkers(opts.Workers)
+	if len(tuples) < minParallelTuples {
+		workers = 1
+	}
+
+	// Pass 1: collect, per community, the IDs of unique paths it
+	// appeared on, plus the on-path ASN/org sets. Each worker scans a
+	// contiguous tuple range into private maps; the merge visits workers
+	// in index order (the path-ID lists are sorted and de-duplicated in
+	// pass 2, so even that order is immaterial to the results).
+	type obsPart struct {
+		commPaths map[bgp.Community][]int32
+		asnOnPath map[uint32]bool
+		orgOnPath map[string]bool
+	}
+	parts := make([]obsPart, workers)
+	parallelRanges(workers, len(tuples), func(w, lo, hi int) {
+		p := obsPart{
+			commPaths: make(map[bgp.Community][]int32),
+			asnOnPath: make(map[uint32]bool),
+			orgOnPath: make(map[string]bool),
 		}
-		if !pathSeen[t.PathID] {
-			pathSeen[t.PathID] = true
-			info := ts.Path(t.PathID)
-			for _, asn := range info.ASNs {
-				os.asnOnPath[asn] = true
+		pathSeen := make(map[int32]bool)
+		for _, t := range tuples[lo:hi] {
+			if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
+				continue
 			}
-			for _, org := range info.Orgs {
-				os.orgOnPath[org] = true
+			if !pathSeen[t.PathID] {
+				pathSeen[t.PathID] = true
+				info := ts.Path(t.PathID)
+				for _, asn := range info.ASNs {
+					p.asnOnPath[asn] = true
+				}
+				for _, org := range info.Orgs {
+					p.orgOnPath[org] = true
+				}
+			}
+			for _, c := range t.Comms {
+				p.commPaths[c] = append(p.commPaths[c], t.PathID)
 			}
 		}
-		for _, c := range t.Comms {
-			commPaths[c] = append(commPaths[c], t.PathID)
+		parts[w] = p
+	})
+	commPaths := parts[0].commPaths
+	os.asnOnPath = parts[0].asnOnPath
+	os.orgOnPath = parts[0].orgOnPath
+	for _, p := range parts[1:] {
+		for c, ids := range p.commPaths {
+			commPaths[c] = append(commPaths[c], ids...)
+		}
+		for asn := range p.asnOnPath {
+			os.asnOnPath[asn] = true
+		}
+		for org := range p.orgOnPath {
+			os.orgOnPath[org] = true
 		}
 	}
 
-	for c, ids := range commPaths {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		alpha := uint32(c.ASN())
-		var alphaOrg string
-		var haveOrg bool
-		if opts.Orgs != nil {
-			alphaOrg, haveOrg = opts.Orgs.Org(alpha)
+	// Pass 2: count unique on/off-path appearances per community. Each
+	// community is independent, so communities are partitioned across
+	// the pool and the per-worker stats maps (disjoint keys) merged.
+	comms := make([]bgp.Community, 0, len(commPaths))
+	for c := range commPaths {
+		comms = append(comms, c)
+	}
+	statParts := make([]map[bgp.Community]*CommunityStats, workers)
+	parallelRanges(workers, len(comms), func(w, lo, hi int) {
+		stats := make(map[bgp.Community]*CommunityStats, hi-lo)
+		for _, c := range comms[lo:hi] {
+			ids := commPaths[c]
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			alpha := uint32(c.ASN())
+			var alphaOrg string
+			var haveOrg bool
+			if opts.Orgs != nil {
+				alphaOrg, haveOrg = opts.Orgs.Org(alpha)
+			}
+			st := &CommunityStats{Comm: c}
+			var prev int32 = -1
+			for _, id := range ids {
+				if id == prev {
+					continue
+				}
+				prev = id
+				info := ts.Path(id)
+				on := containsASN(info.ASNs, alpha)
+				if !on && haveOrg {
+					on = containsOrg(info.Orgs, alphaOrg)
+				}
+				if on {
+					st.OnPath++
+				} else {
+					st.OffPath++
+				}
+			}
+			stats[c] = st
 		}
-		st := &CommunityStats{Comm: c}
-		var prev int32 = -1
-		for _, id := range ids {
-			if id == prev {
-				continue
-			}
-			prev = id
-			info := ts.Path(id)
-			on := containsASN(info.ASNs, alpha)
-			if !on && haveOrg {
-				on = containsOrg(info.Orgs, alphaOrg)
-			}
-			if on {
-				st.OnPath++
-			} else {
-				st.OffPath++
-			}
+		statParts[w] = stats
+	})
+	for _, part := range statParts {
+		for c, st := range part {
+			os.Stats[c] = st
 		}
-		os.Stats[c] = st
 	}
 	return os
 }
@@ -243,32 +310,56 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 	}
 	sort.Slice(alphas, func(i, j int) bool { return alphas[i] < alphas[j] })
 
-	for _, alpha := range alphas {
-		betas := byAlpha[alpha]
-		sort.Slice(betas, func(i, j int) bool { return betas[i] < betas[j] })
+	// Each α clusters and labels independently. Workers take contiguous
+	// ranges of the sorted α list and emit clusters/exclusions in α
+	// order within their range; concatenating the per-worker parts in
+	// worker order reproduces the sequential output exactly.
+	type alphaPart struct {
+		clusters []Cluster
+		excluded []excludedComm
+	}
+	workers := ResolveWorkers(opts.Workers)
+	if len(alphas) < minParallelAlphas {
+		workers = 1
+	}
+	parts := make([]alphaPart, workers)
+	parallelRanges(workers, len(alphas), func(w, lo, hi int) {
+		var p alphaPart
+		for _, alpha := range alphas[lo:hi] {
+			betas := byAlpha[alpha]
+			sort.Slice(betas, func(i, j int) bool { return betas[i] < betas[j] })
 
-		if !opts.DisableExclusions {
-			var reason ExcludeReason
-			switch {
-			case bgp.NewCommunity(alpha, 0).IsPrivateASN():
-				reason = ExcludePrivateASN
-			case !os.AlphaOnPath(uint32(alpha)):
-				reason = ExcludeNeverOnPath
-			}
-			if reason != 0 {
-				for _, b := range betas {
-					inf.Excluded[bgp.NewCommunity(alpha, b)] = reason
+			if !opts.DisableExclusions {
+				var reason ExcludeReason
+				switch {
+				case bgp.NewCommunity(alpha, 0).IsPrivateASN():
+					reason = ExcludePrivateASN
+				case !os.AlphaOnPath(uint32(alpha)):
+					reason = ExcludeNeverOnPath
 				}
-				continue
+				if reason != 0 {
+					for _, b := range betas {
+						p.excluded = append(p.excluded, excludedComm{bgp.NewCommunity(alpha, b), reason})
+					}
+					continue
+				}
+			}
+
+			for _, idx := range clusterIndexes(betas, opts.MinGap) {
+				members := make([]CommunityStats, 0, idx[1]-idx[0])
+				for _, b := range betas[idx[0]:idx[1]] {
+					members = append(members, *os.Stats[bgp.NewCommunity(alpha, b)])
+				}
+				p.clusters = append(p.clusters, labelCluster(alpha, members, opts))
 			}
 		}
-
-		for _, idx := range clusterIndexes(betas, opts.MinGap) {
-			members := make([]CommunityStats, 0, idx[1]-idx[0])
-			for _, b := range betas[idx[0]:idx[1]] {
-				members = append(members, *os.Stats[bgp.NewCommunity(alpha, b)])
-			}
-			cl := labelCluster(alpha, members, opts)
+		parts[w] = p
+	})
+	for _, p := range parts {
+		for _, e := range p.excluded {
+			inf.Excluded[e.comm] = e.reason
+		}
+		for _, cl := range p.clusters {
 			inf.Clusters = append(inf.Clusters, cl)
 			for _, m := range cl.Members {
 				inf.Labels[m.Comm] = cl.Label
@@ -276,6 +367,17 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 		}
 	}
 	return inf
+}
+
+// minParallelAlphas is the α count below which ClassifyObserved stays
+// sequential.
+const minParallelAlphas = 64
+
+// excludedComm is one exclusion decision carried from a classify worker
+// to the merge.
+type excludedComm struct {
+	comm   bgp.Community
+	reason ExcludeReason
 }
 
 // clusterIndexes splits a sorted β list into [start, end) cluster index

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"bgpintent/internal/bgp"
+)
+
+// ShardedTupleStore is a concurrency-safe TupleStore front: AddView
+// hashes the path key to one of N shards, each an independent
+// TupleStore behind its own mutex, so parallel MRT workers ingest
+// without contending on one lock. Merge collapses the shards into a
+// single canonical TupleStore whose contents are deterministic — the
+// same input views produce a byte-identical store regardless of worker
+// count or goroutine scheduling.
+//
+// Because shard routing is a pure function of the path key, every
+// observation of one path lands in the same shard, so per-shard
+// deduplication is global deduplication: no cross-shard reconciliation
+// is needed at merge time.
+type ShardedTupleStore struct {
+	shards []tupleShard
+	mask   uint64
+}
+
+type tupleShard struct {
+	mu sync.Mutex
+	ts *TupleStore
+	// pad the shard out to its own cache lines so neighboring shard
+	// locks do not false-share.
+	_ [64]byte
+}
+
+// NewShardedTupleStore returns a store with at least n shards (rounded
+// up to a power of two; n <= 0 means a single shard). A good n is a
+// small multiple of the worker count.
+func NewShardedTupleStore(n int) *ShardedTupleStore {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &ShardedTupleStore{shards: make([]tupleShard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].ts = NewTupleStore()
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *ShardedTupleStore) Shards() int { return len(s.shards) }
+
+// AddView records one vantage-point observation; safe for concurrent
+// use. Semantics match TupleStore.AddView.
+func (s *ShardedTupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
+	if len(path) == 0 {
+		return
+	}
+	sc := addScratchPool.Get().(*addScratch)
+	sc.key = appendPathKey(sc.key[:0], path)
+	sh := &s.shards[hashKey(sc.key)&s.mask]
+	sh.mu.Lock()
+	sh.ts.addViewKeyed(vp, sc.key, path, comms, sc)
+	sh.mu.Unlock()
+	addScratchPool.Put(sc)
+}
+
+// NoteLarge records large communities; safe for concurrent use.
+func (s *ShardedTupleStore) NoteLarge(ls bgp.LargeCommunities) {
+	for _, lc := range ls {
+		h := splitmix64(uint64(lc.GlobalAdmin)<<32|uint64(lc.LocalData1)) ^ splitmix64(uint64(lc.LocalData2))
+		sh := &s.shards[h&s.mask]
+		sh.mu.Lock()
+		sh.ts.large[lc] = struct{}{}
+		sh.mu.Unlock()
+	}
+}
+
+// Len returns the number of unique tuples across all shards; safe for
+// concurrent use.
+func (s *ShardedTupleStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.ts.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Merge collapses the shards into one canonical TupleStore. Within each
+// shard, tuples are emitted in (path key, communities) order, and
+// shards are visited in index order; both orders are independent of how
+// observations interleaved across goroutines, so the merged store is
+// deterministic for a given input set. The merged store takes ownership
+// of the shard contents; the sharded store must not be used afterwards.
+func (s *ShardedTupleStore) Merge() *TupleStore {
+	out := NewTupleStore()
+	for i := range s.shards {
+		ts := s.shards[i].ts
+		order := make([]int32, len(ts.tuples))
+		for j := range order {
+			order[j] = int32(j)
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ta, tb := ts.tuples[order[a]], ts.tuples[order[b]]
+			ka, kb := ts.pathKeys[ta.PathID], ts.pathKeys[tb.PathID]
+			if ka != kb {
+				return ka < kb
+			}
+			return lessComms(ta.Comms, tb.Comms)
+		})
+		for _, ti := range order {
+			t := ts.tuples[ti]
+			id, ok := out.pathIDs[ts.pathKeys[t.PathID]]
+			if !ok {
+				id = int32(len(out.paths))
+				key := ts.pathKeys[t.PathID]
+				out.paths = append(out.paths, ts.paths[t.PathID])
+				out.pathIDs[key] = id
+				out.pathKeys = append(out.pathKeys, key)
+			}
+			t.PathID = id
+			tk := tupleKey{pathID: id, commsHash: hashComms(t.Comms)}
+			out.tupleIdx[tk] = append(out.tupleIdx[tk], int32(len(out.tuples)))
+			out.tuples = append(out.tuples, t)
+		}
+		for lc := range ts.large {
+			out.large[lc] = struct{}{}
+		}
+	}
+	return out
+}
+
+// lessComms orders canonical community lists lexicographically.
+func lessComms(a, b bgp.Communities) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// splitmix64 is the splitmix64 finalizer, used to spread large-community
+// values across shards.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

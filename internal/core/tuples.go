@@ -8,6 +8,7 @@ package core
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"bgpintent/internal/bgp"
 )
@@ -26,14 +27,25 @@ type Tuple struct {
 	VPs    []uint32        // sorted distinct vantage points
 }
 
+// tupleKey is the fixed-size dedup key of one (path, communities)
+// tuple: the interned path ID plus a 64-bit hash of the canonical
+// communities. Tuples whose communities collide on the hash are
+// disambiguated by comparing the communities themselves (the index maps
+// to a candidate list), so the key is compact without being lossy.
+type tupleKey struct {
+	pathID    int32
+	commsHash uint64
+}
+
 // TupleStore interns AS paths and deduplicates (path, communities)
 // tuples, the §4 data reduction (the paper extracts ≈174M such tuples
 // from one week of RouteViews/RIS data).
 type TupleStore struct {
 	paths    []PathInfo
 	pathIDs  map[string]int32
+	pathKeys []string // path ID -> binary path key (shares pathIDs' key storage)
 	tuples   []*Tuple
-	tupleIdx map[string]int32
+	tupleIdx map[tupleKey][]int32
 
 	// large counts distinct large (96-bit) communities seen alongside the
 	// regular ones. The paper records their prevalence (11,524 vs 88,982
@@ -45,7 +57,7 @@ type TupleStore struct {
 func NewTupleStore() *TupleStore {
 	return &TupleStore{
 		pathIDs:  make(map[string]int32),
-		tupleIdx: make(map[string]int32),
+		tupleIdx: make(map[tupleKey][]int32),
 		large:    make(map[bgp.LargeCommunity]struct{}),
 	}
 }
@@ -62,35 +74,104 @@ func (ts *TupleStore) NoteLarge(ls bgp.LargeCommunities) {
 // noted.
 func (ts *TupleStore) LargeCommunityCount() int { return len(ts.large) }
 
-// pathKey renders a path (with prepending collapsed) to a compact binary
-// key.
-func pathKey(path []uint32) string {
-	buf := make([]byte, 0, 4*len(path))
+// appendPathKey renders a path (with prepending collapsed) to a compact
+// binary key, appending to dst.
+func appendPathKey(dst []byte, path []uint32) []byte {
 	var prev uint32
 	for i, asn := range path {
 		if i > 0 && asn == prev {
 			continue
 		}
 		prev = asn
-		buf = binary.LittleEndian.AppendUint32(buf, asn)
+		dst = binary.LittleEndian.AppendUint32(dst, asn)
 	}
-	return string(buf)
+	return dst
 }
 
-// commsKey renders canonical communities to a compact binary key.
-func commsKey(comms bgp.Communities) string {
-	buf := make([]byte, 0, 4*len(comms))
+// hashKey is FNV-1a over a binary key; it routes paths to shards and
+// feeds tupleKey.commsHash.
+func hashKey(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// hashComms is FNV-1a over canonical communities.
+func hashComms(comms bgp.Communities) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
 	for _, c := range comms {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+		v := uint32(c)
+		h ^= uint64(v & 0xff)
+		h *= prime64
+		h ^= uint64(v >> 8 & 0xff)
+		h *= prime64
+		h ^= uint64(v >> 16 & 0xff)
+		h *= prime64
+		h ^= uint64(v >> 24)
+		h *= prime64
 	}
-	return string(buf)
+	return h
 }
 
-// internPath returns the path ID for a (prepend-collapsed) path,
-// creating it if new. Distinct ASNs are recorded once.
-func (ts *TupleStore) internPath(path []uint32) int32 {
-	key := pathKey(path)
-	if id, ok := ts.pathIDs[key]; ok {
+// addScratch holds the per-AddView working buffers; pooled so the hot
+// path allocates nothing when it hits existing paths and tuples.
+type addScratch struct {
+	key   []byte
+	comms bgp.Communities
+}
+
+var addScratchPool = sync.Pool{New: func() any { return new(addScratch) }}
+
+// canonicalInto writes the sorted, de-duplicated form of comms into dst
+// (reusing its capacity) and returns it. Unlike Communities.Canonical it
+// does not allocate fresh storage per call; community lists are short,
+// so an insertion sort beats sort.Slice and its closure allocation.
+func canonicalInto(dst, comms bgp.Communities) bgp.Communities {
+	dst = append(dst[:0], comms...)
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j] < dst[j-1]; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	w := 0
+	for i := range dst {
+		if i == 0 || dst[i] != dst[i-1] {
+			dst[w] = dst[i]
+			w++
+		}
+	}
+	return dst[:w]
+}
+
+// commsEqual reports whether two canonical community lists are equal.
+func commsEqual(a, b bgp.Communities) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// internPathKey returns the path ID for a path whose binary key has
+// already been rendered, creating the entry if new. The key bytes are
+// only copied to a string on insertion; lookups are allocation-free.
+func (ts *TupleStore) internPathKey(key []byte, path []uint32) int32 {
+	if id, ok := ts.pathIDs[string(key)]; ok {
 		return id
 	}
 	id := int32(len(ts.paths))
@@ -103,8 +184,10 @@ func (ts *TupleStore) internPath(path []uint32) int32 {
 		seen[asn] = struct{}{}
 		info.ASNs = append(info.ASNs, asn)
 	}
+	skey := string(key)
 	ts.paths = append(ts.paths, info)
-	ts.pathIDs[key] = id
+	ts.pathIDs[skey] = id
+	ts.pathKeys = append(ts.pathKeys, skey)
 	return id
 }
 
@@ -116,11 +199,25 @@ func (ts *TupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
 	if len(path) == 0 {
 		return
 	}
-	id := ts.internPath(path)
-	canon := comms.Canonical()
-	key := pathKey(path) + "\x00" + commsKey(canon)
-	if ti, ok := ts.tupleIdx[key]; ok {
+	sc := addScratchPool.Get().(*addScratch)
+	sc.key = appendPathKey(sc.key[:0], path)
+	ts.addViewKeyed(vp, sc.key, path, comms, sc)
+	addScratchPool.Put(sc)
+}
+
+// addViewKeyed is AddView with the path key pre-rendered into sc.key;
+// sc also carries the canonicalization scratch. Shared by the plain and
+// sharded stores.
+func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms bgp.Communities, sc *addScratch) {
+	id := ts.internPathKey(key, path)
+	sc.comms = canonicalInto(sc.comms, comms)
+	canon := sc.comms
+	tk := tupleKey{pathID: id, commsHash: hashComms(canon)}
+	for _, ti := range ts.tupleIdx[tk] {
 		t := ts.tuples[ti]
+		if !commsEqual(t.Comms, canon) {
+			continue
+		}
 		pos := sort.Search(len(t.VPs), func(i int) bool { return t.VPs[i] >= vp })
 		if pos == len(t.VPs) || t.VPs[pos] != vp {
 			t.VPs = append(t.VPs, 0)
@@ -129,8 +226,12 @@ func (ts *TupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
 		}
 		return
 	}
-	t := &Tuple{PathID: id, Comms: canon, VPs: []uint32{vp}}
-	ts.tupleIdx[key] = int32(len(ts.tuples))
+	var owned bgp.Communities
+	if len(canon) > 0 {
+		owned = append(bgp.Communities(nil), canon...)
+	}
+	t := &Tuple{PathID: id, Comms: owned, VPs: []uint32{vp}}
+	ts.tupleIdx[tk] = append(ts.tupleIdx[tk], int32(len(ts.tuples)))
 	ts.tuples = append(ts.tuples, t)
 }
 

@@ -47,6 +47,10 @@ type Config struct {
 	// OrgCoverage is the fraction of multi-AS org members present in the
 	// exported as2org map (real as2org data is incomplete).
 	OrgCoverage float64
+
+	// Workers bounds classifier parallelism in Options(): 0 means one
+	// worker per CPU, 1 forces sequential runs (results are identical).
+	Workers int
 }
 
 // DefaultConfig returns the benchmark corpus configuration.
@@ -135,6 +139,7 @@ func (c *Corpus) LoadDay(day int) {
 func (c *Corpus) Options() core.Options {
 	opts := core.DefaultOptions()
 	opts.Orgs = c.Orgs
+	opts.Workers = c.Config.Workers
 	return opts
 }
 

@@ -239,21 +239,45 @@ func Fig10(c *corpus.Corpus, counts []int, trials int, seed int64) *Report {
 	fullClassified := len(fullInf.Labels)
 	r.addf("total VPs=%d, classified with all=%d", len(all), fullClassified)
 
+	// Trials are independent given their sampled subsets, so each VP
+	// count pre-draws every subset from the shared rng (keeping the
+	// random sequence identical to the sequential run) and then fans the
+	// trials out over one worker pool; per-trial results land in
+	// trial-indexed slots and are reduced in trial order.
 	rng := rand.New(rand.NewSource(seed))
+	topts := opts
+	topts.Workers = 1 // trials are the unit of parallelism; don't nest pools
 	for _, n := range counts {
 		if n > len(all) {
 			n = len(all)
 		}
 		accs := &CDF{}
 		covs := &CDF{}
-		for trial := 0; trial < trials; trial++ {
-			subset := sampleVPs(rng, all, n)
-			inf := core.ClassifyObserved(sweep.Run(subset), opts)
+		subsets := make([][]uint32, trials)
+		for trial := range subsets {
+			subsets[trial] = sampleVPs(rng, all, n)
+		}
+		type trialResult struct {
+			acc    float64
+			hasAcc bool
+			cov    float64
+		}
+		results := make([]trialResult, trials)
+		core.ParallelFor(opts.Workers, trials, func(trial int) {
+			inf := core.ClassifyObserved(sweep.Run(subsets[trial]), topts)
 			conf := AgainstDictionary(inf, c.Dict)
+			res := trialResult{cov: float64(len(inf.Labels)) / float64(max(fullClassified, 1))}
 			if conf.Total() > 0 {
-				accs.Add(conf.Accuracy())
+				res.acc = conf.Accuracy()
+				res.hasAcc = true
 			}
-			covs.Add(float64(len(inf.Labels)) / float64(max(fullClassified, 1)))
+			results[trial] = res
+		})
+		for _, res := range results {
+			if res.hasAcc {
+				accs.Add(res.acc)
+			}
+			covs.Add(res.cov)
 		}
 		r.addf("vps=%-4d accuracy p10=%.3f p50=%.3f p90=%.3f coverage p50=%.3f",
 			n, accs.Quantile(0.10), accs.Quantile(0.50), accs.Quantile(0.90), covs.Quantile(0.50))

@@ -1,0 +1,108 @@
+// Parallel ingestion: one worker per input file, bounded by a
+// configurable pool, with deterministic statistics and error reporting.
+package ingest
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bgpintent/internal/mrt"
+)
+
+// InputFile names one MRT archive and its format.
+type InputFile struct {
+	Path string
+	// Updates marks a BGP4MP updates file; false means a TABLE_DUMP_V2
+	// RIB.
+	Updates bool
+}
+
+// ScanParallel ingests the given files concurrently, at most workers
+// files in flight (workers <= 0 means GOMAXPROCS; 1 degenerates to the
+// sequential scan order). ribFn and updFn receive the decoded views and
+// MAY BE CALLED CONCURRENTLY from multiple goroutines — the callee must
+// be safe for concurrent use (e.g. feed a core.ShardedTupleStore).
+//
+// Statistics are assembled into stats in input-file order once all
+// workers finish, so an N-worker load reports the same Stats as a
+// sequential one. On failure the error of the earliest failed file (in
+// input order, among those processed before the abort) is returned, and
+// stats covers the files up to and including it; files queued behind a
+// failure are not started.
+func ScanParallel(files []InputFile, opts Options, workers int, stats *Stats,
+	ribFn func(*mrt.RIBView) error, updFn func(*mrt.UpdateView) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	if workers <= 1 {
+		for _, f := range files {
+			var err error
+			if f.Updates {
+				err = ScanUpdates(f.Path, opts, stats, updFn)
+			} else {
+				err = ScanRIBs(f.Path, opts, stats, ribFn)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type fileResult struct {
+		stats Stats
+		err   error
+		done  bool
+	}
+	results := make([]fileResult, len(files))
+	var failed atomic.Bool
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue
+				}
+				f := files[i]
+				var st Stats
+				var err error
+				if f.Updates {
+					err = ScanUpdates(f.Path, opts, &st, updFn)
+				} else {
+					err = ScanRIBs(f.Path, opts, &st, ribFn)
+				}
+				results[i] = fileResult{stats: st, err: err, done: true}
+				if err != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range files {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range results {
+		r := &results[i]
+		if !r.done {
+			continue
+		}
+		if stats != nil {
+			stats.Files = append(stats.Files, r.stats.Files...)
+			stats.Total.Merge(&r.stats.Total)
+		}
+		if r.err != nil {
+			return r.err
+		}
+	}
+	return nil
+}
