@@ -22,10 +22,12 @@
 package bgpintent
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"time"
 
 	"bgpintent/internal/asrel"
 	"bgpintent/internal/bgp"
@@ -321,6 +323,9 @@ type ExcludeReason string
 const (
 	ExcludedPrivateASN  ExcludeReason = "private-asn"
 	ExcludedNeverOnPath ExcludeReason = "never-on-path"
+	// ExcludedUnobserved is reported by Lookup for communities that do
+	// not appear in the corpus at all.
+	ExcludedUnobserved ExcludeReason = "unobserved"
 )
 
 // Result holds the inferences for one corpus.
@@ -347,6 +352,14 @@ func (r *Result) Excluded(c Community) (ExcludeReason, bool) {
 func (r *Result) Counts() (action, information int) {
 	return r.inf.Counts()
 }
+
+// ExcludedCount returns how many observed communities were deliberately
+// left unclassified.
+func (r *Result) ExcludedCount() int { return len(r.inf.Excluded) }
+
+// ObservedCount returns how many distinct communities the result covers
+// (classified plus excluded).
+func (r *Result) ObservedCount() int { return r.inf.Observed() }
 
 // Labeled returns every classified community with its label, sorted.
 func (r *Result) Labeled() []LabeledCommunity {
@@ -383,25 +396,37 @@ type Cluster struct {
 	Size     int // observed member communities
 	// OnPath/OffPath are the summed unique-path counts of the members.
 	OnPath, OffPath int
+	// PureOnPath/PureOffPath mark clusters never observed off-path /
+	// on-path; Ratio is the decision ratio of mixed clusters.
+	PureOnPath  bool
+	PureOffPath bool
+	Ratio       float64
+}
+
+func clusterFromCore(cl *core.Cluster) Cluster {
+	c := Cluster{
+		ASN:         cl.Alpha,
+		Lo:          cl.Lo,
+		Hi:          cl.Hi,
+		Category:    fromDictCategory(cl.Label),
+		Size:        len(cl.Members),
+		PureOnPath:  cl.PureOnPath,
+		PureOffPath: cl.PureOffPath,
+		Ratio:       cl.Ratio,
+	}
+	for _, m := range cl.Members {
+		c.OnPath += m.OnPath
+		c.OffPath += m.OffPath
+	}
+	return c
 }
 
 // Clusters returns every inferred cluster, sorted by (ASN, Lo) — the
 // coarse community dictionary structure the paper's Figure 4 shows.
 func (r *Result) Clusters() []Cluster {
 	out := make([]Cluster, 0, len(r.inf.Clusters))
-	for _, cl := range r.inf.Clusters {
-		c := Cluster{
-			ASN:      cl.Alpha,
-			Lo:       cl.Lo,
-			Hi:       cl.Hi,
-			Category: fromDictCategory(cl.Label),
-			Size:     len(cl.Members),
-		}
-		for _, m := range cl.Members {
-			c.OnPath += m.OnPath
-			c.OffPath += m.OffPath
-		}
-		out = append(out, c)
+	for i := range r.inf.Clusters {
+		out = append(out, clusterFromCore(&r.inf.Clusters[i]))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ASN != out[j].ASN {
@@ -421,4 +446,172 @@ func (r *Result) WriteTSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// Lookup is the full verdict for one community: the label, the
+// per-community evidence, the cluster that decided it, and — when
+// unclassified — the reason why (private-ASN α, never-on-path α, or
+// simply unobserved).
+type Lookup struct {
+	Community Community
+	Observed  bool
+	Category  Category
+	// OnPath/OffPath count the unique AS paths the community was
+	// observed on with/without α (or a sibling) in the path.
+	OnPath, OffPath int
+	// Reason is empty for classified communities.
+	Reason ExcludeReason
+	// Cluster is the deciding cluster; nil when excluded or unobserved.
+	Cluster *Cluster
+}
+
+// Lookup explains a community's verdict.
+func (r *Result) Lookup(c Community) Lookup {
+	l := r.inf.Lookup(c.wire())
+	out := Lookup{
+		Community: c,
+		Observed:  l.Observed,
+		Category:  fromDictCategory(l.Category),
+		OnPath:    l.Stats.OnPath,
+		OffPath:   l.Stats.OffPath,
+	}
+	if l.Reason != core.ExcludeNone {
+		out.Reason = ExcludeReason(l.Reason.String())
+	}
+	if l.Cluster != nil {
+		cl := clusterFromCore(l.Cluster)
+		out.Cluster = &cl
+	}
+	return out
+}
+
+// SnapshotInfo is a snapshot's provenance and corpus counters.
+type SnapshotInfo struct {
+	Created time.Time
+	Source  string // free-form, e.g. the input file globs
+
+	Tuples           int
+	Paths            int
+	VantagePoints    int
+	Communities      int
+	LargeCommunities int
+}
+
+// SnapshotInfo captures the corpus counters for a snapshot written now
+// from this corpus.
+func (c *Corpus) SnapshotInfo(source string) SnapshotInfo {
+	return SnapshotInfo{
+		Created:          time.Now(),
+		Source:           source,
+		Tuples:           c.Tuples(),
+		Paths:            c.Paths(),
+		VantagePoints:    len(c.VantagePoints()),
+		Communities:      len(c.Communities()),
+		LargeCommunities: c.LargeCommunities(),
+	}
+}
+
+func (si SnapshotInfo) meta() core.SnapshotMeta {
+	return core.SnapshotMeta{
+		CreatedUnix:      si.Created.Unix(),
+		Source:           si.Source,
+		Tuples:           si.Tuples,
+		Paths:            si.Paths,
+		VantagePoints:    si.VantagePoints,
+		Communities:      si.Communities,
+		LargeCommunities: si.LargeCommunities,
+	}
+}
+
+func snapshotInfo(m core.SnapshotMeta) SnapshotInfo {
+	return SnapshotInfo{
+		Created:          time.Unix(m.CreatedUnix, 0).UTC(),
+		Source:           m.Source,
+		Tuples:           m.Tuples,
+		Paths:            m.Paths,
+		VantagePoints:    m.VantagePoints,
+		Communities:      m.Communities,
+		LargeCommunities: m.LargeCommunities,
+	}
+}
+
+// WriteSnapshot serializes the result into the versioned binary
+// snapshot format intentd cold-starts from (see internal/core). The
+// round trip ReadSnapshot(WriteSnapshot(r)) preserves every label,
+// cluster, exclusion, and Lookup verdict.
+func (r *Result) WriteSnapshot(w io.Writer, info SnapshotInfo) error {
+	return core.WriteSnapshot(w, r.inf, info.meta())
+}
+
+// ReadSnapshot loads a Result back from a snapshot written by
+// WriteSnapshot.
+func ReadSnapshot(rd io.Reader) (*Result, SnapshotInfo, error) {
+	inf, meta, err := core.ReadSnapshot(rd)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	return &Result{inf: inf}, snapshotInfo(meta), nil
+}
+
+// ReadSnapshotInfo reads only a snapshot's provenance/counter header,
+// without decoding the inference body.
+func ReadSnapshotInfo(rd io.Reader) (SnapshotInfo, error) {
+	meta, err := core.ReadSnapshotMeta(rd)
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	return snapshotInfo(meta), nil
+}
+
+// jsonInference mirrors one community in WriteJSON output.
+type jsonInference struct {
+	Community string `json:"community"`
+	Category  string `json:"category"`
+}
+
+// jsonCluster mirrors one cluster in WriteJSON output.
+type jsonCluster struct {
+	ASN         uint16  `json:"asn"`
+	Lo          uint16  `json:"lo"`
+	Hi          uint16  `json:"hi"`
+	Category    string  `json:"category"`
+	Size        int     `json:"size"`
+	OnPath      int     `json:"on_path"`
+	OffPath     int     `json:"off_path"`
+	PureOnPath  bool    `json:"pure_on_path"`
+	PureOffPath bool    `json:"pure_off_path"`
+	Ratio       float64 `json:"ratio"`
+}
+
+// WriteJSON emits the full inference output — labels, clusters, and
+// summary counts — as one JSON document.
+func (r *Result) WriteJSON(w io.Writer) error {
+	action, info := r.Counts()
+	doc := struct {
+		Action      int             `json:"action"`
+		Information int             `json:"information"`
+		Excluded    int             `json:"excluded"`
+		Inferences  []jsonInference `json:"inferences"`
+		Clusters    []jsonCluster   `json:"clusters"`
+	}{
+		Action:      action,
+		Information: info,
+		Excluded:    len(r.inf.Excluded),
+		Inferences:  make([]jsonInference, 0, action+info),
+		Clusters:    make([]jsonCluster, 0, len(r.inf.Clusters)),
+	}
+	for _, lc := range r.Labeled() {
+		doc.Inferences = append(doc.Inferences, jsonInference{
+			Community: lc.Community.String(), Category: lc.Category.String()})
+	}
+	for _, cl := range r.Clusters() {
+		doc.Clusters = append(doc.Clusters, jsonCluster{
+			ASN: cl.ASN, Lo: cl.Lo, Hi: cl.Hi, Category: cl.Category.String(),
+			Size: cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
+			PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
 }

@@ -1,0 +1,206 @@
+// Command intentd serves BGP community-intent inferences over HTTP: a
+// long-running query daemon over the paper's classifier, so downstream
+// systems (location filters, anomaly detectors, looking glasses) can
+// ask "what is 2914:3075?" without re-running the pipeline.
+//
+// It loads either a precomputed snapshot (intentinfer -format
+// snapshot; cold start in milliseconds) or raw MRT archives (classified
+// on startup), and serves:
+//
+//	GET  /v1/community/{asn}:{value}  one community's verdict + evidence
+//	POST /v1/annotate                 batch: communities or (path, communities) tuples
+//	GET  /v1/as/{asn}                 all inferred clusters of one α
+//	GET  /v1/stats                    corpus + inference counters
+//	GET  /v1/metrics                  per-endpoint request/latency/error counters
+//	POST /v1/admin/reload             rebuild + atomically swap the snapshot
+//	GET  /healthz                     liveness
+//
+// Reads are lock-free against an immutable snapshot; SIGHUP or the
+// admin endpoint rebuilds in the background and swaps with zero
+// downtime. SIGTERM/SIGINT drain connections gracefully within
+// -drain-timeout. -debug-addr exposes net/http/pprof on a separate
+// listener.
+//
+// Usage:
+//
+//	intentd -snapshot out.snap [-addr :8642]
+//	intentd -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
+//	        -as2org corpus/as2org.txt [-gap 140] [-ratio 160]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"bgpintent"
+	"bgpintent/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("intentd: ")
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr         string
+	debugAddr    string
+	snapshot     string
+	ribGlob      string
+	updGlob      string
+	as2org       string
+	gap          int
+	ratio        float64
+	par          int
+	strict       bool
+	maxErr       float64
+	drainTimeout time.Duration
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("intentd", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8642", "HTTP listen address")
+	fs.StringVar(&cfg.debugAddr, "debug-addr", "", "optional pprof listen address (e.g. 127.0.0.1:6060)")
+	fs.StringVar(&cfg.snapshot, "snapshot", "", "cold-start from this intentinfer -format snapshot file")
+	fs.StringVar(&cfg.ribGlob, "rib", "", "glob of TABLE_DUMP_V2 RIB files")
+	fs.StringVar(&cfg.updGlob, "updates", "", "glob of BGP4MP updates files")
+	fs.StringVar(&cfg.as2org, "as2org", "", "as2org file (asn|org lines)")
+	fs.IntVar(&cfg.gap, "gap", 140, "minimum gap between community clusters")
+	fs.Float64Var(&cfg.ratio, "ratio", 160, "on-path:off-path ratio threshold")
+	fs.IntVar(&cfg.par, "parallelism", 0, "ingest/classifier workers (0 = one per CPU)")
+	fs.BoolVar(&cfg.strict, "strict", false, "fail on the first malformed MRT record")
+	fs.Float64Var(&cfg.maxErr, "max-error-rate", bgpintent.DefaultMaxErrorRate,
+		"abort a load when a file's corruption rate exceeds this fraction")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", serve.DefaultDrainTimeout,
+		"how long to wait for in-flight requests at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.snapshot == "" && cfg.ribGlob == "" && cfg.updGlob == "" {
+		return nil, fmt.Errorf("no data source: use -snapshot, or -rib/-updates")
+	}
+	if cfg.snapshot != "" && (cfg.ribGlob != "" || cfg.updGlob != "") {
+		return nil, fmt.Errorf("-snapshot and -rib/-updates are mutually exclusive")
+	}
+	return cfg, nil
+}
+
+// builder returns the serve.Builder for the configured data source;
+// every reload re-reads the snapshot file or re-globs and re-ingests
+// the MRT archives, so a reload picks up replaced files.
+func builder(cfg *config) serve.Builder {
+	if cfg.snapshot != "" {
+		return func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+			f, err := os.Open(cfg.snapshot)
+			if err != nil {
+				return nil, bgpintent.SnapshotInfo{}, "", err
+			}
+			defer f.Close()
+			res, info, err := bgpintent.ReadSnapshot(f)
+			if err != nil {
+				return nil, bgpintent.SnapshotInfo{}, "", err
+			}
+			return res, info, "snapshot:" + filepath.Base(cfg.snapshot), nil
+		}
+	}
+	return func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+		ribs, err := expand(cfg.ribGlob)
+		if err != nil {
+			return nil, bgpintent.SnapshotInfo{}, "", err
+		}
+		updates, err := expand(cfg.updGlob)
+		if err != nil {
+			return nil, bgpintent.SnapshotInfo{}, "", err
+		}
+		if len(ribs)+len(updates) == 0 {
+			return nil, bgpintent.SnapshotInfo{}, "", fmt.Errorf("globs matched no files")
+		}
+		c, stats, err := bgpintent.LoadMRTCorpusOptions(ribs, updates, cfg.as2org,
+			bgpintent.LoadOptions{Strict: cfg.strict, MaxErrorRate: cfg.maxErr, Parallelism: cfg.par})
+		if err != nil {
+			return nil, bgpintent.SnapshotInfo{}, "", err
+		}
+		log.Printf("ingest: %s", stats.Summary())
+		res := c.Classify(bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio, Parallelism: cfg.par})
+		source := fmt.Sprintf("mrt:%d files", len(ribs)+len(updates))
+		return res, c.SnapshotInfo(source), source, nil
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	srv, err := serve.New(ctx, builder(cfg), log.Printf)
+	if err != nil {
+		return err
+	}
+	snap := srv.Snapshot()
+	fmt.Fprintf(stdout, "ready: %v (startup %v)\n", snap, time.Since(start).Round(time.Millisecond))
+
+	// SIGHUP: rebuild and swap with zero downtime.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if _, err := srv.Reload(context.Background()); err != nil {
+				log.Printf("SIGHUP reload failed: %v", err)
+			}
+		}
+	}()
+
+	if cfg.debugAddr != "" {
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", cfg.debugAddr)
+			if err := http.ListenAndServe(cfg.debugAddr, dbg); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
+	return srv.ListenAndServe(ctx, serve.ServeConfig{
+		Addr:         cfg.addr,
+		DrainTimeout: cfg.drainTimeout,
+		OnListen: func(a net.Addr) {
+			fmt.Fprintf(stdout, "listening on %s\n", a)
+		},
+	})
+}
+
+func expand(glob string) ([]string, error) {
+	if glob == "" {
+		return nil, nil
+	}
+	files, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, fmt.Errorf("bad glob %q: %v", glob, err)
+	}
+	return files, nil
+}

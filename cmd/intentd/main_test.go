@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpintent"
+)
+
+func TestParseFlags(t *testing.T) {
+	if _, err := parseFlags([]string{}); err == nil {
+		t.Error("no data source accepted")
+	}
+	if _, err := parseFlags([]string{"-snapshot", "x", "-rib", "y"}); err == nil {
+		t.Error("conflicting sources accepted")
+	}
+	cfg, err := parseFlags([]string{"-snapshot", "x", "-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.snapshot != "x" || cfg.addr != ":0" {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+}
+
+// writeTestSnapshot classifies the small synthetic corpus and writes a
+// snapshot file, returning its path and the expected counts.
+func writeTestSnapshot(t *testing.T) (path string, action, info int) {
+	t.Helper()
+	c, err := bgpintent.NewSyntheticCorpus(bgpintent.CorpusOptions{Small: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Classify(bgpintent.DefaultParams())
+	path = filepath.Join(t.TempDir(), "test.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteSnapshot(f, c.SnapshotInfo("test")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	action, info = res.Counts()
+	return path, action, info
+}
+
+func TestServeFromSnapshot(t *testing.T) {
+	snapPath, wantAction, wantInfo := writeTestSnapshot(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, []string{"-snapshot", snapPath, "-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, pw)
+		pw.Close()
+		done <- err
+	}()
+
+	// Wait for the listen line to learn the bound port.
+	var addr string
+	deadline := time.After(30 * time.Second)
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("intentd exited before listening: %v", <-done)
+			}
+			if rest, found := strings.CutPrefix(line, "listening on "); found {
+				addr = rest
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for listen line")
+		}
+	}
+	base := "http://" + addr
+
+	var stats struct {
+		Generation  uint64 `json:"generation"`
+		Source      string `json:"source"`
+		Action      int    `json:"action"`
+		Information int    `json:"information"`
+	}
+	getJSON(t, base+"/v1/stats", &stats)
+	if stats.Action != wantAction || stats.Information != wantInfo {
+		t.Fatalf("stats = %+v, want action=%d information=%d", stats, wantAction, wantInfo)
+	}
+	if stats.Generation != 1 || !strings.HasPrefix(stats.Source, "snapshot:") {
+		t.Fatalf("stats provenance %+v", stats)
+	}
+
+	// Reload from the same file: generation advances, counts identical.
+	resp, err := http.Post(base+"/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	getJSON(t, base+"/v1/stats", &stats)
+	if stats.Generation != 2 || stats.Action != wantAction {
+		t.Fatalf("post-reload stats %+v", stats)
+	}
+
+	// Graceful shutdown via context cancel (what SIGTERM triggers).
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("intentd did not shut down within the drain timeout")
+	}
+}
+
+func TestRunBadSnapshot(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.snap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-snapshot", bad, "-addr", "127.0.0.1:0"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

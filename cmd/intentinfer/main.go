@@ -11,8 +11,11 @@
 //
 //	intentinfer -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	            -as2org corpus/as2org.txt [-gap 140] [-ratio 160] [-o out.tsv]
-//	            [-strict] [-max-error-rate 0.05] [-parallelism N]
-//	            [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//	            [-format tsv|json|snapshot] [-strict] [-max-error-rate 0.05]
+//	            [-parallelism N] [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//
+// -format snapshot writes the binary artifact intentd -snapshot
+// cold-starts from, skipping MRT re-ingestion entirely.
 package main
 
 import (
@@ -44,7 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		as2org  = fs.String("as2org", "", "as2org file (asn|org lines)")
 		gap     = fs.Int("gap", 140, "minimum gap between community clusters")
 		ratio   = fs.Float64("ratio", 160, "on-path:off-path ratio threshold")
-		outPath = fs.String("o", "", "write inferences as TSV to this file")
+		outPath = fs.String("o", "", "write inferences to this file")
+		format  = fs.String("format", "tsv", "output format: tsv, json, or snapshot (the binary artifact intentd -snapshot serves from)")
 		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
 		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
 			"abort when a file's corruption rate exceeds this fraction (negative disables)")
@@ -54,6 +58,11 @@ func run(args []string, stdout io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "tsv", "json", "snapshot":
+	default:
+		return fmt.Errorf("unknown -format %q (want tsv, json or snapshot)", *format)
 	}
 
 	if *cpuProf != "" {
@@ -110,18 +119,40 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
 
 	if *outPath != "" {
-		if err := writeTSVAtomic(*outPath, res); err != nil {
+		var fill func(io.Writer) error
+		switch *format {
+		case "tsv":
+			fill = res.WriteTSV
+		case "json":
+			fill = res.WriteJSON
+		case "snapshot":
+			info := c.SnapshotInfo(sourceLabel(*ribGlob, *updGlob))
+			fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
+		}
+		if err := writeAtomic(*outPath, fill); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "wrote inferences to %s\n", *outPath)
+		fmt.Fprintf(stdout, "wrote %s inferences to %s\n", *format, *outPath)
 	}
 	return nil
 }
 
-// writeTSVAtomic writes the inferences to a temporary file in the
-// destination directory and renames it into place, so a mid-stream
-// failure never leaves a half-written TSV behind.
-func writeTSVAtomic(path string, res *bgpintent.Result) (err error) {
+// sourceLabel records the input globs as snapshot provenance.
+func sourceLabel(ribGlob, updGlob string) string {
+	switch {
+	case ribGlob != "" && updGlob != "":
+		return ribGlob + " + " + updGlob
+	case ribGlob != "":
+		return ribGlob
+	default:
+		return updGlob
+	}
+}
+
+// writeAtomic writes the output to a temporary file in the destination
+// directory and renames it into place, so a mid-stream failure never
+// leaves a half-written artifact behind.
+func writeAtomic(path string, fill func(io.Writer) error) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -132,7 +163,7 @@ func writeTSVAtomic(path string, res *bgpintent.Result) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = res.WriteTSV(tmp); err != nil {
+	if err = fill(tmp); err != nil {
 		return err
 	}
 	if err = tmp.Close(); err != nil {

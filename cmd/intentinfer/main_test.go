@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"bgpintent"
 	"bgpintent/internal/corpus"
 )
 
@@ -172,8 +174,93 @@ func TestWriteTSVAtomicLeavesNoTemp(t *testing.T) {
 
 	// Writing into a nonexistent directory fails up front and leaves
 	// nothing behind.
-	if err := writeTSVAtomic(filepath.Join(dir, "nope", "out.tsv"), nil); err == nil {
+	if err := writeAtomic(filepath.Join(dir, "nope", "out.tsv"), nil); err == nil {
 		t.Error("atomic write into a missing directory succeeded")
+	}
+}
+
+// TestFormatRoundTrip is the snapshot contract: classify → write
+// snapshot → load → byte-identical WriteTSV, and -format json emits
+// parseable JSON agreeing with the TSV.
+func TestFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	args := func(format, out string) []string {
+		return []string{
+			"-rib", filepath.Join(dir, "*.rib.mrt"),
+			"-as2org", filepath.Join(dir, "as2org.txt"),
+			"-format", format,
+			"-o", out,
+		}
+	}
+
+	outTSV := filepath.Join(dir, "out.tsv")
+	if err := run(args("tsv", outTSV), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	wantTSV, err := os.ReadFile(outTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outSnap := filepath.Join(dir, "out.snap")
+	if err := run(args("snapshot", outSnap), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, info, err := bgpintent.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tuples == 0 || info.Paths == 0 || !strings.Contains(info.Source, "*.rib.mrt") {
+		t.Errorf("snapshot info = %+v", info)
+	}
+	var gotTSV bytes.Buffer
+	if err := res.WriteTSV(&gotTSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotTSV.Bytes(), wantTSV) {
+		t.Fatalf("TSV after snapshot round trip differs:\ngot %d bytes\nwant %d bytes",
+			gotTSV.Len(), len(wantTSV))
+	}
+
+	outJSON := filepath.Join(dir, "out.json")
+	if err := run(args("json", outJSON), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Action      int `json:"action"`
+		Information int `json:"information"`
+		Inferences  []struct {
+			Community string `json:"community"`
+			Category  string `json:"category"`
+		} `json:"inferences"`
+		Clusters []struct {
+			ASN uint16 `json:"asn"`
+		} `json:"clusters"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-format json output is not JSON: %v", err)
+	}
+	tsvLines := strings.Split(strings.TrimSpace(string(wantTSV)), "\n")
+	if len(doc.Inferences) != len(tsvLines) || doc.Action+doc.Information != len(tsvLines) {
+		t.Errorf("json has %d inferences (action %d + information %d), TSV has %d lines",
+			len(doc.Inferences), doc.Action, doc.Information, len(tsvLines))
+	}
+	if len(doc.Clusters) == 0 {
+		t.Error("json carries no clusters")
+	}
+
+	if err := run(args("yaml", filepath.Join(dir, "x")), &bytes.Buffer{}); err == nil {
+		t.Error("unknown format accepted")
 	}
 }
 

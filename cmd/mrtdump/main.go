@@ -12,6 +12,10 @@
 // Usage:
 //
 //	mrtdump [-v] [-strict] [-stats] file.mrt...
+//	zcat rib.mrt.gz | mrtdump -v -
+//
+// "-" reads MRT from stdin; gzip and bzip2 streams are recognized by
+// their magic bytes, so compressed archives pipe straight in.
 package main
 
 import (
@@ -51,7 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: mrtdump [-v] [-strict] [-stats] file.mrt...")
+		return fmt.Errorf("usage: mrtdump [-v] [-strict] [-stats] file.mrt|-...")
 	}
 	totalBad := 0
 	for _, path := range fs.Args() {
@@ -67,13 +71,27 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// dump prints one file and returns how many records failed to decode.
+// stdin is swapped by tests.
+var stdin io.Reader = os.Stdin
+
+// dump prints one file ("-" means stdin, with gzip/bzip2 sniffed from
+// the magic bytes) and returns how many records failed to decode.
 func dump(stdout io.Writer, path string, opts options) (int, error) {
-	f, err := ingest.Open(path)
-	if err != nil {
-		return 0, err
+	var f io.Reader
+	if path == "-" {
+		r, err := ingest.OpenReader(stdin)
+		if err != nil {
+			return 0, fmt.Errorf("stdin: %w", err)
+		}
+		f, path = r, "stdin"
+	} else {
+		rc, err := ingest.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		defer rc.Close()
+		f = rc
 	}
-	defer f.Close()
 
 	var stats mrt.Stats
 	var r *mrt.Reader

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,5 +121,38 @@ func TestRunStrictCorrupt(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "offset") {
 		t.Errorf("strict error %q carries no byte offset", err)
+	}
+}
+
+// TestRunStdin pipes plain and gzipped MRT through "-" and expects the
+// same summary as reading the file directly.
+func TestRunStdin(t *testing.T) {
+	path := writeRIBFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gzBuf bytes.Buffer
+	zw := gzip.NewWriter(&gzBuf)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, data := range map[string][]byte{"plain": raw, "gzip": gzBuf.Bytes()} {
+		oldStdin := stdin
+		stdin = bytes.NewReader(data)
+		var out bytes.Buffer
+		err := run([]string{"-"}, &out)
+		stdin = oldStdin
+		if err != nil {
+			t.Fatalf("%s via stdin: %v", name, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "stdin:") || !strings.Contains(s, "TABLE_DUMP_V2/RIB") {
+			t.Errorf("%s via stdin: output = %q", name, s)
+		}
 	}
 }

@@ -98,6 +98,29 @@ func ParseCommunity(s string) (Community, error) {
 	return NewCommunity(uint16(asn), uint16(val)), nil
 }
 
+// ParseCommunities parses a list of communities in canonical α:β
+// notation, separated by spaces and/or commas — the forms looking
+// glasses, bgpdump output, and route policies use, e.g.
+// "2914:3075 2914:420" or "2914:3075,2914:420". An empty string parses
+// to an empty set.
+func ParseCommunities(s string) (Communities, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t'
+	})
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	out := make(Communities, 0, len(fields))
+	for _, f := range fields {
+		c, err := ParseCommunity(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
 // Communities is a set of regular communities carried by one route.
 // The zero value is an empty, usable set.
 type Communities []Community

@@ -281,3 +281,38 @@ func TestCommunitiesClone(t *testing.T) {
 		t.Error("nil Clone != nil")
 	}
 }
+
+func TestParseCommunities(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Communities
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"2914:3075", Communities{NewCommunity(2914, 3075)}},
+		{"2914:3075 2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}},
+		{"2914:3075,2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}},
+		{"2914:3075, 2914:420\t1299:20", Communities{
+			NewCommunity(2914, 3075), NewCommunity(2914, 420), NewCommunity(1299, 20)}},
+	} {
+		got, err := ParseCommunities(tc.in)
+		if err != nil {
+			t.Errorf("ParseCommunities(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseCommunities(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseCommunities(%q)[%d] = %v, want %v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+	for _, bad := range []string{"2914", "2914:x", "70000:1", "2914:3075 nope"} {
+		if _, err := ParseCommunities(bad); err == nil {
+			t.Errorf("ParseCommunities(%q) accepted", bad)
+		}
+	}
+}

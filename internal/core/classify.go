@@ -50,12 +50,17 @@ func DefaultOptions() Options {
 type ExcludeReason int8
 
 const (
+	// ExcludeNone: the community was not excluded.
+	ExcludeNone ExcludeReason = iota
 	// ExcludePrivateASN: the α half is in the private/reserved 16-bit
 	// ASN range, so no public AS can be identified.
-	ExcludePrivateASN ExcludeReason = iota + 1
+	ExcludePrivateASN
 	// ExcludeNeverOnPath: neither α nor any sibling appears in any AS
 	// path (IXP route servers and other transparent taggers).
 	ExcludeNeverOnPath
+	// ExcludeUnobserved is never stored in Inferences.Excluded: Lookup
+	// reports it for communities absent from the corpus.
+	ExcludeUnobserved
 )
 
 // String names the reason for reports.
@@ -65,6 +70,8 @@ func (r ExcludeReason) String() string {
 		return "private-asn"
 	case ExcludeNeverOnPath:
 		return "never-on-path"
+	case ExcludeUnobserved:
+		return "unobserved"
 	default:
 		return "none"
 	}
@@ -110,12 +117,75 @@ type Inferences struct {
 	Clusters []Cluster
 	Excluded map[bgp.Community]ExcludeReason
 	Opts     Options
+
+	// index maps every observed community — classified or excluded —
+	// to its stats and (for classified ones) its cluster, backing
+	// Lookup. Built by ClassifyObserved and ReadSnapshot; the structure
+	// is immutable once built, so lookups need no locking.
+	index map[bgp.Community]lookupEntry
+}
+
+// lookupEntry is one observed community in the query index.
+type lookupEntry struct {
+	stats   CommunityStats
+	cluster int32 // index into Clusters; -1 for excluded communities
 }
 
 // Category returns the inferred label of a community (CatUnknown when
 // excluded or unobserved).
 func (inf *Inferences) Category(c bgp.Community) dict.Category {
 	return inf.Labels[c]
+}
+
+// Lookup is the full verdict for one community: not just the label but
+// the evidence behind it and, when unclassified, the reason why.
+type Lookup struct {
+	Comm     bgp.Community
+	Observed bool          // the community appeared in the corpus
+	Category dict.Category // CatUnknown when excluded or unobserved
+	Stats    CommunityStats
+	Reason   ExcludeReason // ExcludeNone for classified communities
+	Cluster  *Cluster      // nil when excluded or unobserved
+}
+
+// Lookup explains a community's verdict: its on/off-path evidence, the
+// cluster that labeled it, or the exclusion reason (private-ASN α,
+// never-on-path α, or simply unobserved). The returned Cluster aliases
+// the Inferences and must not be mutated.
+func (inf *Inferences) Lookup(c bgp.Community) Lookup {
+	e, ok := inf.index[c]
+	if !ok {
+		return Lookup{Comm: c, Reason: ExcludeUnobserved}
+	}
+	l := Lookup{Comm: c, Observed: true, Stats: e.stats}
+	if e.cluster >= 0 {
+		l.Cluster = &inf.Clusters[e.cluster]
+		l.Category = l.Cluster.Label
+	} else {
+		l.Reason = inf.Excluded[c]
+	}
+	return l
+}
+
+// Observed returns how many communities the index covers (classified
+// plus excluded).
+func (inf *Inferences) Observed() int { return len(inf.index) }
+
+// buildIndex (re)derives the Lookup index from Clusters and the
+// supplied per-community stats of excluded communities.
+func (inf *Inferences) buildIndex(excludedStats map[bgp.Community]CommunityStats) {
+	inf.index = make(map[bgp.Community]lookupEntry,
+		len(inf.Labels)+len(inf.Excluded))
+	for i := range inf.Clusters {
+		for _, m := range inf.Clusters[i].Members {
+			inf.index[m.Comm] = lookupEntry{stats: m, cluster: int32(i)}
+		}
+	}
+	for c := range inf.Excluded {
+		st := excludedStats[c]
+		st.Comm = c
+		inf.index[c] = lookupEntry{stats: st, cluster: -1}
+	}
 }
 
 // Counts returns how many communities were inferred action and
@@ -339,7 +409,8 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 				}
 				if reason != 0 {
 					for _, b := range betas {
-						p.excluded = append(p.excluded, excludedComm{bgp.NewCommunity(alpha, b), reason})
+						c := bgp.NewCommunity(alpha, b)
+						p.excluded = append(p.excluded, excludedComm{c, reason, *os.Stats[c]})
 					}
 					continue
 				}
@@ -355,9 +426,11 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 		}
 		parts[w] = p
 	})
+	excludedStats := make(map[bgp.Community]CommunityStats)
 	for _, p := range parts {
 		for _, e := range p.excluded {
 			inf.Excluded[e.comm] = e.reason
+			excludedStats[e.comm] = e.stats
 		}
 		for _, cl := range p.clusters {
 			inf.Clusters = append(inf.Clusters, cl)
@@ -366,6 +439,7 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 			}
 		}
 	}
+	inf.buildIndex(excludedStats)
 	return inf
 }
 
@@ -374,10 +448,11 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 const minParallelAlphas = 64
 
 // excludedComm is one exclusion decision carried from a classify worker
-// to the merge.
+// to the merge, with the stats that back Lookup's explanation.
 type excludedComm struct {
 	comm   bgp.Community
 	reason ExcludeReason
+	stats  CommunityStats
 }
 
 // clusterIndexes splits a sorted β list into [start, end) cluster index

@@ -1,0 +1,236 @@
+// Snapshot (de)serialization: a compact, versioned on-disk form of the
+// classifier output, so a serving process can cold-start from an
+// intentinfer run in milliseconds instead of re-ingesting MRT.
+//
+// Layout (all integers little-endian):
+//
+//	[10]byte  magic "BGPINTSNP" + format version byte
+//	uint32    metaLen
+//	[metaLen] gob(SnapshotMeta)   — counters, provenance; readable alone
+//	uint64    bodyLen
+//	[bodyLen] gob(snapshotBody)   — clusters, exclusions, options
+//	uint32    IEEE CRC-32 of the body section
+//
+// The header carries section lengths, so a reader can fetch the meta
+// block (ReadSnapshotMeta) without touching the — much larger — body,
+// and tools can seek past sections they do not care about.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+)
+
+// snapshotMagic identifies the file format; the trailing byte is the
+// version and bumps on any incompatible layout change.
+var snapshotMagic = [10]byte{'B', 'G', 'P', 'I', 'N', 'T', 'S', 'N', 'P', 1}
+
+// maxSnapshotSection bounds a section length read from a header before
+// allocation, so a corrupt or hostile file cannot demand gigabytes.
+const maxSnapshotSection = 1 << 31
+
+// SnapshotMeta carries corpus-level provenance alongside the
+// inferences, so a server restored from a snapshot can still report
+// where its data came from and how much of it there was.
+type SnapshotMeta struct {
+	// CreatedUnix is the snapshot creation time, in Unix seconds.
+	CreatedUnix int64
+	// Source is free-form provenance, e.g. the intentinfer input globs.
+	Source string
+
+	// Corpus counters at classification time.
+	Tuples           int
+	Paths            int
+	VantagePoints    int
+	Communities      int
+	LargeCommunities int
+}
+
+// snapshotOpts is the serializable subset of Options (function-valued
+// and map-valued fields — Orgs, VPFilter — shape the observations, not
+// the queries, and are not persisted).
+type snapshotOpts struct {
+	MinGap            int
+	RatioThreshold    float64
+	DisableExclusions bool
+	PooledRatio       bool
+}
+
+// snapshotExcluded is one excluded community with the evidence Lookup
+// reports for it.
+type snapshotExcluded struct {
+	Comm    bgp.Community
+	Reason  ExcludeReason
+	OnPath  int
+	OffPath int
+}
+
+// snapshotBody is the gob payload of the body section.
+type snapshotBody struct {
+	Opts     snapshotOpts
+	Clusters []Cluster
+	Excluded []snapshotExcluded
+}
+
+// WriteSnapshot serializes the inferences and meta into w.
+func WriteSnapshot(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
+	var metaBuf bytes.Buffer
+	if err := gob.NewEncoder(&metaBuf).Encode(&meta); err != nil {
+		return fmt.Errorf("snapshot: encode meta: %w", err)
+	}
+
+	body := snapshotBody{
+		Opts: snapshotOpts{
+			MinGap:            inf.Opts.MinGap,
+			RatioThreshold:    inf.Opts.RatioThreshold,
+			DisableExclusions: inf.Opts.DisableExclusions,
+			PooledRatio:       inf.Opts.PooledRatio,
+		},
+		Clusters: inf.Clusters,
+		Excluded: make([]snapshotExcluded, 0, len(inf.Excluded)),
+	}
+	for c, reason := range inf.Excluded {
+		e := snapshotExcluded{Comm: c, Reason: reason}
+		if l := inf.Lookup(c); l.Observed {
+			e.OnPath, e.OffPath = l.Stats.OnPath, l.Stats.OffPath
+		}
+		body.Excluded = append(body.Excluded, e)
+	}
+	// Deterministic bytes for identical inferences, regardless of map
+	// iteration order.
+	sort.Slice(body.Excluded, func(i, j int) bool {
+		return body.Excluded[i].Comm < body.Excluded[j].Comm
+	})
+	var bodyBuf bytes.Buffer
+	if err := gob.NewEncoder(&bodyBuf).Encode(&body); err != nil {
+		return fmt.Errorf("snapshot: encode body: %w", err)
+	}
+
+	if _, err := w.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(metaBuf.Len())); err != nil {
+		return err
+	}
+	if _, err := w.Write(metaBuf.Bytes()); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(bodyBuf.Len())); err != nil {
+		return err
+	}
+	crc := crc32.ChecksumIEEE(bodyBuf.Bytes())
+	if _, err := w.Write(bodyBuf.Bytes()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc)
+}
+
+// readSnapshotHeader consumes the magic and returns the meta section
+// length.
+func readSnapshotHeader(r io.Reader) (int, error) {
+	var magic [10]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, fmt.Errorf("snapshot: short header: %w", err)
+	}
+	if !bytes.Equal(magic[:9], snapshotMagic[:9]) {
+		return 0, fmt.Errorf("snapshot: bad magic %q", magic[:9])
+	}
+	if magic[9] != snapshotMagic[9] {
+		return 0, fmt.Errorf("snapshot: unsupported format version %d (want %d)",
+			magic[9], snapshotMagic[9])
+	}
+	var metaLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
+		return 0, fmt.Errorf("snapshot: short header: %w", err)
+	}
+	if metaLen > maxSnapshotSection {
+		return 0, fmt.Errorf("snapshot: implausible meta length %d", metaLen)
+	}
+	return int(metaLen), nil
+}
+
+// ReadSnapshotMeta decodes only the meta section — the header carries
+// its length, so the (much larger) body is never read.
+func ReadSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
+	var meta SnapshotMeta
+	metaLen, err := readSnapshotHeader(r)
+	if err != nil {
+		return meta, err
+	}
+	if err := gob.NewDecoder(io.LimitReader(r, int64(metaLen))).Decode(&meta); err != nil {
+		return meta, fmt.Errorf("snapshot: decode meta: %w", err)
+	}
+	return meta, nil
+}
+
+// ReadSnapshot decodes a snapshot written by WriteSnapshot, rebuilding
+// the full query index (Labels, Excluded, Lookup).
+func ReadSnapshot(r io.Reader) (*Inferences, SnapshotMeta, error) {
+	var meta SnapshotMeta
+	metaLen, err := readSnapshotHeader(r)
+	if err != nil {
+		return nil, meta, err
+	}
+	metaRaw := make([]byte, metaLen)
+	if _, err := io.ReadFull(r, metaRaw); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: short meta: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(metaRaw)).Decode(&meta); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: decode meta: %w", err)
+	}
+
+	var bodyLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &bodyLen); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: short body header: %w", err)
+	}
+	if bodyLen > maxSnapshotSection {
+		return nil, meta, fmt.Errorf("snapshot: implausible body length %d", bodyLen)
+	}
+	bodyRaw := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, bodyRaw); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: short body: %w", err)
+	}
+	var wantCRC uint32
+	if err := binary.Read(r, binary.LittleEndian, &wantCRC); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: missing checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(bodyRaw); got != wantCRC {
+		return nil, meta, fmt.Errorf("snapshot: body checksum mismatch (corrupt file): got %08x want %08x", got, wantCRC)
+	}
+	var body snapshotBody
+	if err := gob.NewDecoder(bytes.NewReader(bodyRaw)).Decode(&body); err != nil {
+		return nil, meta, fmt.Errorf("snapshot: decode body: %w", err)
+	}
+
+	inf := &Inferences{
+		Labels:   make(map[bgp.Community]dict.Category),
+		Clusters: body.Clusters,
+		Excluded: make(map[bgp.Community]ExcludeReason, len(body.Excluded)),
+		Opts: Options{
+			MinGap:            body.Opts.MinGap,
+			RatioThreshold:    body.Opts.RatioThreshold,
+			DisableExclusions: body.Opts.DisableExclusions,
+			PooledRatio:       body.Opts.PooledRatio,
+		},
+	}
+	excludedStats := make(map[bgp.Community]CommunityStats, len(body.Excluded))
+	for _, cl := range inf.Clusters {
+		for _, m := range cl.Members {
+			inf.Labels[m.Comm] = cl.Label
+		}
+	}
+	for _, e := range body.Excluded {
+		inf.Excluded[e.Comm] = e.Reason
+		excludedStats[e.Comm] = CommunityStats{Comm: e.Comm, OnPath: e.OnPath, OffPath: e.OffPath}
+	}
+	inf.buildIndex(excludedStats)
+	return inf, meta, nil
+}

@@ -8,6 +8,7 @@
 package ingest
 
 import (
+	"bufio"
 	"compress/bzip2"
 	"compress/gzip"
 	"fmt"
@@ -123,6 +124,22 @@ func Open(path string) (io.ReadCloser, error) {
 	default:
 		return f, nil
 	}
+}
+
+// OpenReader wraps an already-open stream with transparent
+// decompression, sniffing the gzip and bzip2 magic bytes instead of a
+// file extension — for inputs with no name to go by, such as stdin.
+// Streams too short to carry a magic number pass through unchanged.
+func OpenReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, _ := br.Peek(3)
+	switch {
+	case len(magic) >= 2 && magic[0] == 0x1f && magic[1] == 0x8b:
+		return gzip.NewReader(br)
+	case len(magic) >= 3 && magic[0] == 'B' && magic[1] == 'Z' && magic[2] == 'h':
+		return bzip2.NewReader(br), nil
+	}
+	return br, nil
 }
 
 // wrappedCloser pairs a decompressing reader with the underlying file's

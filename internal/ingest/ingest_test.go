@@ -250,3 +250,36 @@ func TestCallbackErrorPropagates(t *testing.T) {
 		t.Error("stats not recorded on callback abort")
 	}
 }
+
+func TestOpenReaderSniffing(t *testing.T) {
+	payload := []byte("MRT-ish payload bytes")
+
+	var gzBuf bytes.Buffer
+	zw := gzip.NewWriter(&gzBuf)
+	zw.Write(payload)
+	zw.Close()
+
+	for name, tc := range map[string]struct {
+		in   []byte
+		want []byte
+	}{
+		"plain": {payload, payload},
+		"gzip":  {gzBuf.Bytes(), payload},
+		"short": {[]byte{0x1f}, []byte{0x1f}}, // too short for a magic number
+		"empty": {nil, nil},
+	} {
+		r, err := OpenReader(bytes.NewReader(tc.in))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Errorf("%s: read: %v", name, err)
+			continue
+		}
+		if !bytes.Equal(got, tc.want) {
+			t.Errorf("%s: got %q, want %q", name, got, tc.want)
+		}
+	}
+}

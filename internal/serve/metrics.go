@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics are the per-endpoint counters; all fields are
+// atomics, so the hot path never takes a lock.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	totalNS  atomic.Int64
+	maxNS    atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration, failed bool) {
+	m.requests.Add(1)
+	if failed {
+		m.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	m.totalNS.Add(ns)
+	for {
+		old := m.maxNS.Load()
+		if ns <= old || m.maxNS.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the exported view of one endpoint's counters.
+type EndpointStats struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	AvgMicros float64 `json:"avg_us"`
+	MaxMicros float64 `json:"max_us"`
+}
+
+// Metrics aggregates the server's operational counters, in the spirit
+// of expvar: cheap atomic updates, one JSON page to scrape.
+type Metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics // keys fixed at construction
+
+	reloads      atomic.Int64
+	reloadErrors atomic.Int64
+}
+
+func newMetrics(endpoints []string) *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointMetrics{}
+	}
+	return m
+}
+
+// endpoint returns the counters for a name registered at construction.
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	return m.endpoints[name]
+}
+
+// MetricsSnapshot is the scrape-time view served at /v1/metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Generation    uint64                   `json:"generation"`
+	Reloads       int64                    `json:"reloads"`
+	ReloadErrors  int64                    `json:"reload_errors"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// snapshot assembles a point-in-time copy of every counter.
+func (m *Metrics) snapshot(gen uint64) MetricsSnapshot {
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Generation:    gen,
+		Reloads:       m.reloads.Load(),
+		ReloadErrors:  m.reloadErrors.Load(),
+		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
+	}
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		em := m.endpoints[name]
+		st := EndpointStats{
+			Requests:  em.requests.Load(),
+			Errors:    em.errors.Load(),
+			MaxMicros: float64(em.maxNS.Load()) / 1e3,
+		}
+		if st.Requests > 0 {
+			st.AvgMicros = float64(em.totalNS.Load()) / float64(st.Requests) / 1e3
+		}
+		out.Endpoints[name] = st
+	}
+	return out
+}

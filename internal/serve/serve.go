@@ -1,0 +1,464 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpintent"
+	"bgpintent/internal/bgp"
+)
+
+// Builder produces a fresh classification result; the server calls it
+// once at startup and again on every reload (SIGHUP or
+// POST /v1/admin/reload). It runs outside the request read path — a
+// slow build delays only the swap, never a query. The returned source
+// string describes provenance for /v1/stats.
+type Builder func(ctx context.Context) (res *bgpintent.Result, info bgpintent.SnapshotInfo, source string, err error)
+
+// maxAnnotateBody bounds the POST /v1/annotate request body.
+const maxAnnotateBody = 4 << 20
+
+// maxAnnotateItems bounds how many communities one annotate call may
+// resolve, counting tuple members.
+const maxAnnotateItems = 65536
+
+// endpointNames are the instrumented endpoint keys in /v1/metrics.
+var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "reload"}
+
+// Server is the intentd HTTP core: an atomic current snapshot, a
+// builder to replace it, and the instrumented mux.
+type Server struct {
+	snap    atomic.Pointer[Snapshot]
+	gen     atomic.Uint64
+	builder Builder
+	metrics *Metrics
+	logf    func(format string, args ...any)
+	mux     *http.ServeMux
+
+	// reloadMu serializes builds: concurrent reload requests queue
+	// rather than racing to install snapshots out of order. Readers
+	// never touch it.
+	reloadMu sync.Mutex
+}
+
+// New constructs a server and installs its first snapshot by running
+// the builder. logf receives operational log lines; nil means
+// log.Printf.
+func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Server, error) {
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		builder: builder,
+		metrics: newMetrics(endpointNames),
+		logf:    logf,
+	}
+	if _, err := s.Reload(ctx); err != nil {
+		return nil, err
+	}
+	// The failed-reload counter should not count the initial build the
+	// constructor already turned into an error.
+	s.metrics.reloads.Store(0)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/community/{comm}", s.instrument("community", s.handleCommunity))
+	s.mux.HandleFunc("POST /v1/annotate", s.instrument("annotate", s.handleAnnotate))
+	s.mux.HandleFunc("GET /v1/as/{asn}", s.instrument("as", s.handleAS))
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// ServeHTTP serves the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Snapshot returns the current snapshot; the result stays valid (and
+// internally consistent) for as long as the caller holds it, even
+// across reloads.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Reload runs the builder and atomically installs the result as the
+// new current snapshot. Queries observe either the old or the new
+// snapshot in full — never a mix. On error the old snapshot stays
+// installed and keeps serving.
+func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	start := time.Now()
+	res, info, source, err := s.builder(ctx)
+	if err != nil {
+		s.metrics.reloadErrors.Add(1)
+		s.logf("reload failed (still serving %v): %v", s.snap.Load(), err)
+		return nil, err
+	}
+	snap := NewSnapshot(s.gen.Add(1), res, info, source, time.Since(start))
+	s.snap.Store(snap)
+	s.metrics.reloads.Add(1)
+	s.logf("installed snapshot %v in %v", snap, snap.BuildDuration.Round(time.Millisecond))
+	return snap, nil
+}
+
+// instrument wraps a handler with the per-endpoint counters.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.metrics.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		cw := &countingWriter{ResponseWriter: w}
+		h(cw, r)
+		em.observe(time.Since(start), cw.status >= 400)
+	}
+}
+
+// countingWriter records the response status for the error counters.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (c *countingWriter) WriteHeader(status int) {
+	c.status = status
+	c.ResponseWriter.WriteHeader(status)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone; nothing to do
+}
+
+// errorResponse is the JSON body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// ClusterJSON is a cluster as rendered in responses.
+type ClusterJSON struct {
+	ASN         uint16  `json:"asn"`
+	Lo          uint16  `json:"lo"`
+	Hi          uint16  `json:"hi"`
+	Category    string  `json:"category"`
+	Size        int     `json:"size"`
+	OnPath      int     `json:"on_path"`
+	OffPath     int     `json:"off_path"`
+	PureOnPath  bool    `json:"pure_on_path"`
+	PureOffPath bool    `json:"pure_off_path"`
+	Ratio       float64 `json:"ratio"`
+}
+
+func clusterJSON(cl *bgpintent.Cluster) *ClusterJSON {
+	if cl == nil {
+		return nil
+	}
+	return &ClusterJSON{
+		ASN: cl.ASN, Lo: cl.Lo, Hi: cl.Hi, Category: cl.Category.String(),
+		Size: cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
+		PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
+	}
+}
+
+// Annotation is one community verdict as rendered in responses.
+type Annotation struct {
+	Community string       `json:"community"`
+	Observed  bool         `json:"observed"`
+	Category  string       `json:"category"`
+	OnPath    int          `json:"on_path"`
+	OffPath   int          `json:"off_path"`
+	Reason    string       `json:"exclude_reason,omitempty"`
+	Cluster   *ClusterJSON `json:"cluster,omitempty"`
+	// OnThisPath reports whether the community's α appears in the AS
+	// path supplied with a tuple annotation; null for bare communities.
+	OnThisPath *bool `json:"on_this_path,omitempty"`
+}
+
+func annotate(snap *Snapshot, c bgp.Community) Annotation {
+	l := snap.Lookup(bgpintent.Comm(c.ASN(), c.Value()))
+	return Annotation{
+		Community: l.Community.String(),
+		Observed:  l.Observed,
+		Category:  l.Category.String(),
+		OnPath:    l.OnPath,
+		OffPath:   l.OffPath,
+		Reason:    string(l.Reason),
+		Cluster:   clusterJSON(l.Cluster),
+	}
+}
+
+// communityResponse is the GET /v1/community/{comm} body.
+type communityResponse struct {
+	Annotation
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
+	c, err := bgp.ParseCommunity(r.PathValue("comm"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad community: %v", err)
+		return
+	}
+	// One snapshot load; everything below answers from it, so the
+	// response is internally consistent even mid-reload.
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, communityResponse{
+		Annotation: annotate(snap, c),
+		Generation: snap.Gen,
+	})
+}
+
+// AnnotateTuple is one (AS path, communities) input of POST
+// /v1/annotate, in looking-glass notation.
+type AnnotateTuple struct {
+	// Path is the AS path, e.g. "701 2914 3356"; optional. When given,
+	// each annotation also reports whether its α is on this path.
+	Path string `json:"path,omitempty"`
+	// Communities is the attached community set, e.g. "2914:3075 2914:420".
+	Communities string `json:"communities"`
+}
+
+// annotateRequest is the POST /v1/annotate body.
+type annotateRequest struct {
+	// Communities are bare communities to annotate.
+	Communities []string `json:"communities,omitempty"`
+	// Tuples are full route observations to annotate member by member.
+	Tuples []AnnotateTuple `json:"tuples,omitempty"`
+}
+
+// annotateTupleResponse annotates one input tuple.
+type annotateTupleResponse struct {
+	Path        string       `json:"path,omitempty"`
+	Annotations []Annotation `json:"annotations"`
+}
+
+// annotateResponse is the POST /v1/annotate response body.
+type annotateResponse struct {
+	Generation  uint64                  `json:"generation"`
+	Annotations []Annotation            `json:"annotations,omitempty"`
+	Tuples      []annotateTupleResponse `json:"tuples,omitempty"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req annotateRequest
+	body := io.LimitReader(r.Body, maxAnnotateBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Communities) == 0 && len(req.Tuples) == 0 {
+		writeError(w, http.StatusBadRequest, "empty request: give communities and/or tuples")
+		return
+	}
+
+	snap := s.Snapshot()
+	resp := annotateResponse{Generation: snap.Gen}
+	items := 0
+	budget := func(n int) bool {
+		items += n
+		return items <= maxAnnotateItems
+	}
+
+	for i, cs := range req.Communities {
+		c, err := bgp.ParseCommunity(cs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "communities[%d]: %v", i, err)
+			return
+		}
+		if !budget(1) {
+			writeError(w, http.StatusRequestEntityTooLarge, "more than %d communities in one request", maxAnnotateItems)
+			return
+		}
+		resp.Annotations = append(resp.Annotations, annotate(snap, c))
+	}
+
+	for i, tup := range req.Tuples {
+		comms, err := bgp.ParseCommunities(tup.Communities)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "tuples[%d].communities: %v", i, err)
+			return
+		}
+		if !budget(len(comms)) {
+			writeError(w, http.StatusRequestEntityTooLarge, "more than %d communities in one request", maxAnnotateItems)
+			return
+		}
+		tr := annotateTupleResponse{Path: tup.Path}
+		var path bgp.ASPath
+		havePath := tup.Path != ""
+		if havePath {
+			if path, err = bgp.ParseASPath(tup.Path); err != nil {
+				writeError(w, http.StatusBadRequest, "tuples[%d].path: %v", i, err)
+				return
+			}
+		}
+		for _, c := range comms {
+			a := annotate(snap, c)
+			if havePath {
+				on := path.Contains(uint32(c.ASN()))
+				a.OnThisPath = &on
+			}
+			tr.Annotations = append(tr.Annotations, a)
+		}
+		resp.Tuples = append(resp.Tuples, tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// asResponse is the GET /v1/as/{asn} body.
+type asResponse struct {
+	ASN        uint16        `json:"asn"`
+	Clusters   []ClusterJSON `json:"clusters"`
+	Generation uint64        `json:"generation"`
+}
+
+func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
+	asn64, err := strconv.ParseUint(r.PathValue("asn"), 10, 16)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad asn: %v", err)
+		return
+	}
+	snap := s.Snapshot()
+	resp := asResponse{ASN: uint16(asn64), Generation: snap.Gen, Clusters: []ClusterJSON{}}
+	for _, cl := range snap.ClustersFor(uint16(asn64)) {
+		resp.Clusters = append(resp.Clusters, *clusterJSON(&cl))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	Generation    uint64  `json:"generation"`
+	Source        string  `json:"source"`
+	BuiltAt       string  `json:"built_at"`
+	BuildSeconds  float64 `json:"build_seconds"`
+	CorpusCreated string  `json:"corpus_created"`
+
+	Tuples           int `json:"tuples"`
+	Paths            int `json:"paths"`
+	VantagePoints    int `json:"vantage_points"`
+	Communities      int `json:"communities"`
+	LargeCommunities int `json:"large_communities"`
+
+	Action      int `json:"action"`
+	Information int `json:"information"`
+	Excluded    int `json:"excluded"`
+	Clusters    int `json:"clusters"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Generation:       snap.Gen,
+		Source:           snap.Source,
+		BuiltAt:          snap.BuiltAt.UTC().Format(time.RFC3339),
+		BuildSeconds:     snap.BuildDuration.Seconds(),
+		CorpusCreated:    snap.Info.Created.UTC().Format(time.RFC3339),
+		Tuples:           snap.Info.Tuples,
+		Paths:            snap.Info.Paths,
+		VantagePoints:    snap.Info.VantagePoints,
+		Communities:      snap.Info.Communities,
+		LargeCommunities: snap.Info.LargeCommunities,
+		Action:           snap.action,
+		Information:      snap.information,
+		Excluded:         snap.excluded,
+		Clusters:         snap.clusters,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.Snapshot().Gen))
+}
+
+// reloadResponse is the POST /v1/admin/reload body.
+type reloadResponse struct {
+	Generation   uint64  `json:"generation"`
+	Source       string  `json:"source"`
+	BuildSeconds float64 `json:"build_seconds"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Reload(r.Context())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadResponse{
+		Generation:   snap.Gen,
+		Source:       snap.Source,
+		BuildSeconds: snap.BuildDuration.Seconds(),
+	})
+}
+
+// ServeConfig configures ListenAndServe.
+type ServeConfig struct {
+	// Addr is the listen address, e.g. ":8642" or "127.0.0.1:0".
+	Addr string
+	// DrainTimeout bounds connection draining at shutdown; 0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+	// OnListen, if set, receives the bound address before serving
+	// starts (useful with port 0).
+	OnListen func(addr net.Addr)
+}
+
+// DefaultDrainTimeout is how long a shutting-down server waits for
+// in-flight requests before closing their connections.
+const DefaultDrainTimeout = 10 * time.Second
+
+// ListenAndServe runs the HTTP server until ctx is canceled, then
+// shuts down gracefully: the listener closes immediately, in-flight
+// requests get up to DrainTimeout to complete, and only then are
+// connections torn down. Returns nil on a clean drained shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, cfg ServeConfig) error {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr())
+	}
+	drain := cfg.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+
+	srv := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	s.logf("shutting down, draining for up to %v", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain timeout exceeded: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	s.logf("shutdown complete")
+	return nil
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for intentd, run by CI and usable locally:
+# build the tools, generate a tiny corpus, cold-start intentd both ways
+# (MRT re-ingestion and precomputed snapshot, timing each), curl every
+# endpoint family, trigger a live reload, and assert a clean SIGTERM
+# drain. Exits nonzero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+bin="$work/bin"
+log="$work/intentd.log"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "SMOKE FAIL: $*" >&2; [ -s "$log" ] && sed 's/^/  intentd: /' "$log" >&2; exit 1; }
+
+echo "== build"
+go build -o "$bin/" ./cmd/gencorpus ./cmd/intentinfer ./cmd/intentd ./cmd/mrtdump
+
+echo "== generate tiny corpus"
+"$bin/gencorpus" -out "$work/corpus" -scale tiny -days 1 >/dev/null
+
+echo "== mrtdump from stdin (gzipped)"
+gzip -c "$work/corpus/rc00.day0.rib.mrt" | "$bin/mrtdump" - | grep -q "TABLE_DUMP_V2/RIB" \
+    || fail "mrtdump - did not decode gzipped stdin"
+
+echo "== write snapshot + tsv"
+"$bin/intentinfer" -rib "$work/corpus/*.rib.mrt" -updates "$work/corpus/*.updates.mrt" \
+    -as2org "$work/corpus/as2org.txt" -format snapshot -o "$work/intent.snap" >/dev/null
+"$bin/intentinfer" -rib "$work/corpus/*.rib.mrt" -updates "$work/corpus/*.updates.mrt" \
+    -as2org "$work/corpus/as2org.txt" -o "$work/intent.tsv" >/dev/null
+comm=$(head -1 "$work/intent.tsv" | cut -f1)
+alpha=${comm%%:*}
+[ -n "$comm" ] || fail "empty TSV"
+
+# start_intentd <extra args...>: starts intentd on an ephemeral port,
+# waits for the listen line, sets $pid/$addr/$startup.
+start_intentd() {
+    : > "$log"
+    "$bin/intentd" -addr 127.0.0.1:0 -drain-timeout 5s "$@" >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 300); do
+        addr=$(sed -n 's/^listening on //p' "$log" | head -1)
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || fail "intentd exited during startup"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "intentd never reported its listen address"
+    startup=$(sed -n 's/.*(startup \(.*\))/\1/p' "$log" | head -1)
+    [ -n "$startup" ] || fail "intentd never reported its startup time"
+}
+
+stop_intentd() {
+    kill -TERM "$pid"
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        fail "intentd did not exit within 10s of SIGTERM"
+    fi
+    wait "$pid" || fail "intentd exited nonzero after SIGTERM"
+    pid=""
+}
+
+curl_ok() { curl -sf --max-time 10 "$@" || fail "curl $* failed"; }
+
+echo "== cold start from MRT"
+start_intentd -rib "$work/corpus/*.rib.mrt" -updates "$work/corpus/*.updates.mrt" \
+    -as2org "$work/corpus/as2org.txt"
+mrt_startup=$startup
+curl_ok "http://$addr/v1/stats" | grep -q '"source": "mrt:' || fail "MRT source not reported"
+stop_intentd
+
+echo "== cold start from snapshot"
+start_intentd -snapshot "$work/intent.snap"
+snap_startup=$startup
+echo "   startup: mrt=$mrt_startup snapshot=$snap_startup"
+
+echo "== endpoints"
+curl_ok "http://$addr/healthz" | grep -q ok || fail "healthz"
+curl_ok "http://$addr/v1/stats" | grep -q '"source": "snapshot:' || fail "snapshot source not reported"
+curl_ok "http://$addr/v1/community/$comm" | grep -q '"community"' || fail "community endpoint"
+curl_ok "http://$addr/v1/community/$comm" | grep -q '"generation": 1' || fail "generation missing"
+curl_ok "http://$addr/v1/as/$alpha" | grep -q '"clusters"' || fail "as endpoint"
+curl_ok -X POST "http://$addr/v1/annotate" \
+    -d "{\"communities\": [\"$comm\"], \"tuples\": [{\"path\": \"65000 $alpha\", \"communities\": \"$comm\"}]}" \
+    | grep -q '"on_this_path": true' || fail "annotate endpoint"
+
+echo "== live reload"
+curl_ok -X POST "http://$addr/v1/admin/reload" | grep -q '"generation": 2' || fail "admin reload"
+curl_ok "http://$addr/v1/community/$comm" | grep -q '"generation": 2' || fail "reload did not swap"
+kill -HUP "$pid"
+for _ in $(seq 1 100); do
+    gen=$(curl -sf --max-time 10 "http://$addr/v1/stats" | sed -n 's/.*"generation": \([0-9]*\).*/\1/p')
+    [ "$gen" = "3" ] && break
+    sleep 0.1
+done
+[ "$gen" = "3" ] || fail "SIGHUP reload did not reach generation 3 (got ${gen:-none})"
+curl_ok "http://$addr/v1/metrics" | grep -q '"reloads": 2' || fail "metrics reload count"
+
+echo "== graceful shutdown"
+stop_intentd
+
+echo "SMOKE OK (startup: mrt=$mrt_startup snapshot=$snap_startup)"
