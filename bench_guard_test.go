@@ -1,0 +1,120 @@
+package bgpintent
+
+// Bench regression guard: a cheap CI tripwire that re-measures the two
+// numbers this codebase stakes its performance story on and compares
+// them against the committed BENCH_pipeline.json baseline:
+//
+//   - load_mrt allocations per op, normalized per tuple so corpus size
+//     (BGPINTENT_BENCH_DAYS) doesn't skew the comparison — fails on a
+//     >20% regression, which would mean the columnar store's
+//     allocation-free hot path has been eroded;
+//   - classify speedup at workers=4 vs workers=1 — fails below 1.0×,
+//     which would mean parallel classification went back to being
+//     slower than sequential (the pre-CSR pathology was 0.72×).
+//
+// Gated behind BGPINTENT_BENCH_GUARD=1 because it runs the pipeline at
+// benchmark fidelity (tens of seconds):
+//
+//	BGPINTENT_BENCH_GUARD=1 go test -run TestBenchGuard -v .
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+)
+
+const (
+	// guardLoadAllocHeadroom is how much per-tuple allocation growth the
+	// guard tolerates before failing (measurement noise on allocs/op is
+	// small; 20% catches any real per-view regression).
+	guardLoadAllocHeadroom = 1.20
+	// guardMinClassifySpeedup is the floor for classify's workers=4
+	// speedup over sequential. Best-of-3 benchmark runs keep scheduler
+	// noise out of the ratio; a genuine regression to the old
+	// merge-heavy Observe shows up as ~0.7, far below the floor.
+	guardMinClassifySpeedup = 1.0
+)
+
+func TestBenchGuard(t *testing.T) {
+	if os.Getenv("BGPINTENT_BENCH_GUARD") != "1" {
+		t.Skip("set BGPINTENT_BENCH_GUARD=1 to run the bench regression guard")
+	}
+	raw, err := os.ReadFile("BENCH_pipeline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline pipelineBenchReport
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		t.Fatalf("parsing BENCH_pipeline.json: %v", err)
+	}
+	baseLoad := findBenchResult(&baseline, "load_mrt", 1)
+	if baseLoad == nil || baseline.Tuples == 0 {
+		t.Fatal("BENCH_pipeline.json has no load_mrt workers=1 baseline")
+	}
+
+	ribs, err := writeBenchMRT(benchDays())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Tuples() == 0 {
+		t.Fatal("empty bench corpus")
+	}
+
+	// Load allocation regression, per tuple.
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	allocsPerTuple := float64(res.AllocsPerOp()) / float64(warm.Tuples())
+	baseAllocsPerTuple := float64(baseLoad.AllocsPerOp) / float64(baseline.Tuples)
+	limit := baseAllocsPerTuple * guardLoadAllocHeadroom
+	t.Logf("load_mrt allocs/tuple: got %.3f, baseline %.3f, limit %.3f",
+		allocsPerTuple, baseAllocsPerTuple, limit)
+	if allocsPerTuple > limit {
+		t.Errorf("load_mrt allocations regressed: %.3f allocs/tuple exceeds %.3f (baseline %.3f +%d%%)",
+			allocsPerTuple, limit, baseAllocsPerTuple, int(guardLoadAllocHeadroom*100)-100)
+	}
+
+	// Classify parallel scaling: best-of-3 at each worker count.
+	measure := func(workers int) int64 {
+		best := int64(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				for j := 0; j < b.N; j++ {
+					warm.Classify(Params{Parallelism: workers})
+				}
+			})
+			if ns := r.NsPerOp(); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	seq := measure(1)
+	par := measure(4)
+	speedup := float64(seq) / float64(par)
+	t.Logf("classify: workers=1 %dns, workers=4 %dns, speedup %.3f", seq, par, speedup)
+	if speedup < guardMinClassifySpeedup {
+		t.Errorf("classify speedup at workers=4 is %.3fx, want >= %.2fx — parallel classification is slower than sequential",
+			speedup, guardMinClassifySpeedup)
+	}
+}
+
+func findBenchResult(r *pipelineBenchReport, name string, workers int) *pipelineBenchResult {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Name == name && res.Workers == workers {
+			return res
+		}
+	}
+	return nil
+}

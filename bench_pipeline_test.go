@@ -26,6 +26,9 @@ type pipelineBenchResult struct {
 	BytesPerOp  int64   `json:"bytes_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
 	SpeedupVs1  float64 `json:"speedup_vs_sequential"`
+	// HeapInuse is the post-GC live heap after the stage's measured
+	// runs, so footprint — not just allocation churn — is tracked.
+	HeapInuse int64 `json:"heap_inuse"`
 }
 
 type pipelineBenchReport struct {
@@ -67,27 +70,32 @@ func TestEmitPipelineBench(t *testing.T) {
 	report.Tuples = warm.Tuples()
 
 	workerCounts := []int{1, 2, 4, 8}
-	measure := func(name string, workers int, fn func()) testing.BenchmarkResult {
+	measure := func(name string, workers int, fn func()) (testing.BenchmarkResult, int64) {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				fn()
 			}
 		})
-		t.Logf("%s workers=%d: %s %s", name, workers, res.String(), res.MemString())
-		return res
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heapInuse := int64(ms.HeapInuse)
+		t.Logf("%s workers=%d: %s %s heap_inuse=%d", name, workers, res.String(), res.MemString(), heapInuse)
+		return res, heapInuse
 	}
 	record := func(name string, run func(workers int)) {
 		var seqNs int64
 		for _, w := range workerCounts {
 			w := w
-			res := measure(name, w, func() { run(w) })
+			res, heapInuse := measure(name, w, func() { run(w) })
 			r := pipelineBenchResult{
 				Name:        name,
 				Workers:     w,
 				NsPerOp:     res.NsPerOp(),
 				BytesPerOp:  res.AllocedBytesPerOp(),
 				AllocsPerOp: res.AllocsPerOp(),
+				HeapInuse:   heapInuse,
 			}
 			if w == 1 {
 				seqNs = r.NsPerOp

@@ -246,7 +246,7 @@ func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts L
 	sts := core.NewShardedTupleStore(4 * core.ResolveWorkers(opts.Parallelism))
 	err := ingest.ScanParallel(files, iopts, opts.Parallelism, ist,
 		func(v *mrt.RIBView) error {
-			sts.AddView(v.Peer.ASN, v.Entry.Attrs.ASPath.Flatten(), v.Entry.Attrs.Communities)
+			sts.AddViewASPath(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities)
 			sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
 			return nil
 		},
@@ -254,7 +254,7 @@ func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts L
 			if len(v.Update.NLRI) == 0 {
 				return nil // pure withdrawals carry no tuple
 			}
-			sts.AddView(v.PeerAS, v.Update.Attrs.ASPath.Flatten(), v.Update.Attrs.Communities)
+			sts.AddViewASPath(v.PeerAS, v.Update.Attrs.ASPath, v.Update.Attrs.Communities)
 			sts.NoteLarge(v.Update.Attrs.LargeCommunities)
 			return nil
 		})

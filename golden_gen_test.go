@@ -1,0 +1,39 @@
+package bgpintent
+
+import (
+	"bytes"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestGenGoldens regenerates the seed-equivalence goldens; run manually
+// with BGPINTENT_GEN_GOLDENS=1.
+func TestGenGoldens(t *testing.T) {
+	if os.Getenv("BGPINTENT_GEN_GOLDENS") != "1" {
+		t.Skip("set BGPINTENT_GEN_GOLDENS=1")
+	}
+	c, err := NewSyntheticCorpus(CorpusOptions{Small: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Classify(Params{Parallelism: 1})
+	var tsv bytes.Buffer
+	if err := res.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_synthetic.tsv", tsv.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	info := SnapshotInfo{Created: time.Unix(1714521600, 0).UTC(), Source: "golden",
+		Tuples: c.Tuples(), Paths: c.Paths(), VantagePoints: len(c.VantagePoints()),
+		Communities: len(c.Communities()), LargeCommunities: c.LargeCommunities()}
+	if err := res.WriteSnapshot(&snap, info); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("testdata/golden_synthetic.snap", snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("goldens: %d tsv bytes, %d snap bytes", tsv.Len(), snap.Len())
+}

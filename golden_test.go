@@ -1,0 +1,54 @@
+package bgpintent
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestGoldenEquivalence pins the classifier output to goldens captured
+// from the pre-columnar seed implementation: the columnar tuple store
+// and CSR community index must reproduce WriteTSV and snapshot bytes
+// exactly, at every worker count. Regenerate the goldens with
+// BGPINTENT_GEN_GOLDENS=1 only when the output format itself changes
+// deliberately.
+func TestGoldenEquivalence(t *testing.T) {
+	wantTSV, err := os.ReadFile("testdata/golden_synthetic.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSnap, err := os.ReadFile("testdata/golden_synthetic.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c, err := NewSyntheticCorpus(CorpusOptions{Small: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := c.Classify(Params{Parallelism: workers})
+			var tsv bytes.Buffer
+			if err := res.WriteTSV(&tsv); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(tsv.Bytes(), wantTSV) {
+				t.Errorf("TSV output differs from seed golden (%d vs %d bytes)", tsv.Len(), len(wantTSV))
+			}
+			// The snapshot info must match what the generator used, so
+			// the meta section compares byte-for-byte too.
+			info := SnapshotInfo{Created: time.Unix(1714521600, 0).UTC(), Source: "golden",
+				Tuples: c.Tuples(), Paths: c.Paths(), VantagePoints: len(c.VantagePoints()),
+				Communities: len(c.Communities()), LargeCommunities: c.LargeCommunities()}
+			var snap bytes.Buffer
+			if err := res.WriteSnapshot(&snap, info); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snap.Bytes(), wantSnap) {
+				t.Errorf("snapshot output differs from seed golden (%d vs %d bytes)", snap.Len(), len(wantSnap))
+			}
+		})
+	}
+}

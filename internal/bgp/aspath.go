@@ -68,11 +68,16 @@ func (p ASPath) Flatten() []uint32 {
 	for _, seg := range p.Segments {
 		n += len(seg.ASNs)
 	}
-	out := make([]uint32, 0, n)
+	return p.AppendFlatten(make([]uint32, 0, n))
+}
+
+// AppendFlatten appends every ASN in the path to dst and returns the
+// extended slice; it is Flatten for callers that reuse a scratch buffer.
+func (p ASPath) AppendFlatten(dst []uint32) []uint32 {
 	for _, seg := range p.Segments {
-		out = append(out, seg.ASNs...)
+		dst = append(dst, seg.ASNs...)
 	}
-	return out
+	return dst
 }
 
 // Unique returns the distinct ASNs in the path, in first-appearance order.

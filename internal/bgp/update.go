@@ -180,8 +180,30 @@ func (a *PathAttributes) EncodeAttrs() []byte {
 // attribute-length field and the NLRI) into a, with 4-octet AS_PATH
 // encoding. Unknown attributes are skipped; malformed ones abort with an
 // error.
+//
+// Attribute payloads are decoded into a's existing slice capacity where
+// possible, so a decode loop that recycles one PathAttributes per slot
+// (calling ResetForReuse between records) runs allocation-free at
+// steady state.
 func DecodeAttrs(buf []byte, a *PathAttributes) error {
 	return decodeAttrsSized(buf, a, 4)
+}
+
+// ResetForReuse clears a for decoding a fresh attribute block while
+// retaining allocated slice capacity (AS_PATH segment and ASN arrays,
+// community lists). Callers that recycle a PathAttributes across
+// records must call it before each decode so absent attributes do not
+// leak values from the previous record.
+func (a *PathAttributes) ResetForReuse() {
+	segs := a.ASPath.Segments[:0]
+	comms := a.Communities[:0]
+	ecs := a.ExtCommunities[:0]
+	ls := a.LargeCommunities[:0]
+	*a = PathAttributes{}
+	a.ASPath.Segments = segs
+	a.Communities = comms
+	a.ExtCommunities = ecs
+	a.LargeCommunities = ls
 }
 
 // decodeAttrsSized parses attributes with the given AS_PATH ASN width
@@ -220,11 +242,9 @@ func decodeAttrsSized(buf []byte, a *PathAttributes, asnBytes int) error {
 			a.HasOrigin = true
 			a.Origin = payload[0]
 		case AttrASPath:
-			p, err := decodeASPath(payload, asnBytes)
-			if err != nil {
+			if err := decodeASPathInto(payload, asnBytes, &a.ASPath); err != nil {
 				return err
 			}
-			a.ASPath = p
 		case AttrAS4Path:
 			if asnBytes == 4 {
 				// A 4-octet speaker must not see AS4_PATH; tolerate and
@@ -259,7 +279,10 @@ func decodeAttrsSized(buf []byte, a *PathAttributes, asnBytes int) error {
 			if alen%4 != 0 {
 				return fmt.Errorf("bgp: COMMUNITIES: length %d not a multiple of 4", alen)
 			}
-			cs := make(Communities, 0, alen/4)
+			cs := a.Communities[:0]
+			if cap(cs) < alen/4 {
+				cs = make(Communities, 0, alen/4)
+			}
 			for i := 0; i < alen; i += 4 {
 				cs = append(cs, Community(binary.BigEndian.Uint32(payload[i:i+4])))
 			}
@@ -268,7 +291,10 @@ func decodeAttrsSized(buf []byte, a *PathAttributes, asnBytes int) error {
 			if alen%8 != 0 {
 				return fmt.Errorf("bgp: EXTENDED COMMUNITIES: length %d not a multiple of 8", alen)
 			}
-			ecs := make([]ExtendedCommunity, 0, alen/8)
+			ecs := a.ExtCommunities[:0]
+			if cap(ecs) < alen/8 {
+				ecs = make([]ExtendedCommunity, 0, alen/8)
+			}
 			for i := 0; i < alen; i += 8 {
 				ecs = append(ecs, ExtendedCommunity{
 					Type:    payload[i],
@@ -282,7 +308,10 @@ func decodeAttrsSized(buf []byte, a *PathAttributes, asnBytes int) error {
 			if alen%12 != 0 {
 				return fmt.Errorf("bgp: LARGE_COMMUNITY: length %d not a multiple of 12", alen)
 			}
-			ls := make(LargeCommunities, 0, alen/12)
+			ls := a.LargeCommunities[:0]
+			if cap(ls) < alen/12 {
+				ls = make(LargeCommunities, 0, alen/12)
+			}
 			for i := 0; i < alen; i += 12 {
 				ls = append(ls, LargeCommunity{
 					GlobalAdmin: binary.BigEndian.Uint32(payload[i : i+4]),
@@ -344,38 +373,58 @@ func MergeAS4Path(asPath, as4Path ASPath) ASPath {
 }
 
 // decodeASPath parses AS_PATH segments with the given ASN width (2 or
-// 4 octets).
+// 4 octets) into a freshly allocated path.
 func decodeASPath(buf []byte, asnBytes int) (ASPath, error) {
 	var p ASPath
+	if err := decodeASPathInto(buf, asnBytes, &p); err != nil {
+		return ASPath{}, err
+	}
+	return p, nil
+}
+
+// decodeASPathInto parses AS_PATH segments into p, reusing p's segment
+// slice and, slot by slot, the ASN arrays of whatever path p held
+// before. On error p's contents are unspecified.
+func decodeASPathInto(buf []byte, asnBytes int, p *ASPath) error {
+	segs := p.Segments[:0]
 	for len(buf) > 0 {
 		if len(buf) < 2 {
-			return ASPath{}, fmt.Errorf("bgp: truncated AS_PATH segment header")
+			return fmt.Errorf("bgp: truncated AS_PATH segment header")
 		}
 		segType, count := buf[0], int(buf[1])
 		if segType != SegmentTypeASSet && segType != SegmentTypeASSequence {
-			return ASPath{}, fmt.Errorf("bgp: AS_PATH: bad segment type %d", segType)
+			return fmt.Errorf("bgp: AS_PATH: bad segment type %d", segType)
 		}
 		need := 2 + asnBytes*count
 		if len(buf) < need {
-			return ASPath{}, fmt.Errorf("bgp: AS_PATH segment: want %d bytes, have %d", need, len(buf))
-		}
-		asns := make([]uint32, count)
-		for i := 0; i < count; i++ {
-			if asnBytes == 2 {
-				asns[i] = uint32(binary.BigEndian.Uint16(buf[2+2*i : 4+2*i]))
-			} else {
-				asns[i] = binary.BigEndian.Uint32(buf[2+4*i : 6+4*i])
-			}
+			return fmt.Errorf("bgp: AS_PATH segment: want %d bytes, have %d", need, len(buf))
 		}
 		// Merge wire-split sequences back together so Key() is canonical.
-		if n := len(p.Segments); n > 0 && segType == SegmentTypeASSequence && p.Segments[n-1].Type == SegmentTypeASSequence {
-			p.Segments[n-1].ASNs = append(p.Segments[n-1].ASNs, asns...)
+		merge := len(segs) > 0 && segType == SegmentTypeASSequence && segs[len(segs)-1].Type == SegmentTypeASSequence
+		var asns []uint32
+		if merge {
+			asns = segs[len(segs)-1].ASNs
+		} else if len(segs) < cap(segs) {
+			// Reclaim the ASN array of the segment previously stored in
+			// this slot.
+			asns = segs[:len(segs)+1][len(segs)].ASNs[:0]
+		}
+		for i := 0; i < count; i++ {
+			if asnBytes == 2 {
+				asns = append(asns, uint32(binary.BigEndian.Uint16(buf[2+2*i:4+2*i])))
+			} else {
+				asns = append(asns, binary.BigEndian.Uint32(buf[2+4*i:6+4*i]))
+			}
+		}
+		if merge {
+			segs[len(segs)-1].ASNs = asns
 		} else {
-			p.Segments = append(p.Segments, PathSegment{Type: segType, ASNs: asns})
+			segs = append(segs, PathSegment{Type: segType, ASNs: asns})
 		}
 		buf = buf[need:]
 	}
-	return p, nil
+	p.Segments = segs
+	return nil
 }
 
 // Encode serializes the UPDATE, including the 19-octet BGP header with an
@@ -422,69 +471,85 @@ func DecodeUpdate(buf []byte) (*UpdateMessage, error) {
 // 2 for messages from pre-RFC 6793 sessions (plain BGP4MP_MESSAGE
 // records), in which case any AS4_PATH attribute is merged.
 func DecodeUpdateSized(buf []byte, asnBytes int) (*UpdateMessage, error) {
+	var m UpdateMessage
+	if err := DecodeUpdateSizedInto(buf, asnBytes, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// DecodeUpdateSizedInto is DecodeUpdateSized decoding into a
+// caller-owned message: m's previous contents are discarded, but its
+// slice capacity (withdrawn/NLRI lists, attribute storage) is reused,
+// so a scan loop recycling one UpdateMessage runs allocation-free at
+// steady state. On error m's contents are unspecified.
+func DecodeUpdateSizedInto(buf []byte, asnBytes int, m *UpdateMessage) error {
 	if asnBytes != 2 && asnBytes != 4 {
-		return nil, fmt.Errorf("bgp: unsupported ASN width %d", asnBytes)
+		return fmt.Errorf("bgp: unsupported ASN width %d", asnBytes)
 	}
 	if len(buf) < headerLen {
-		return nil, fmt.Errorf("bgp: message shorter than header: %d bytes", len(buf))
+		return fmt.Errorf("bgp: message shorter than header: %d bytes", len(buf))
 	}
 	for i := 0; i < 16; i++ {
 		if buf[i] != 0xff {
-			return nil, fmt.Errorf("bgp: bad marker octet at %d", i)
+			return fmt.Errorf("bgp: bad marker octet at %d", i)
 		}
 	}
 	total := int(binary.BigEndian.Uint16(buf[16:18]))
 	if total < headerLen || total > maxMessageLen {
-		return nil, fmt.Errorf("bgp: bad message length %d", total)
+		return fmt.Errorf("bgp: bad message length %d", total)
 	}
 	if len(buf) < total {
-		return nil, fmt.Errorf("bgp: truncated message: header says %d, have %d", total, len(buf))
+		return fmt.Errorf("bgp: truncated message: header says %d, have %d", total, len(buf))
 	}
 	if buf[18] != MsgTypeUpdate {
-		return nil, fmt.Errorf("bgp: message type %d is not UPDATE", buf[18])
+		return fmt.Errorf("bgp: message type %d is not UPDATE", buf[18])
 	}
 	body := buf[headerLen:total]
 
+	m.Withdrawn = m.Withdrawn[:0]
+	m.NLRI = m.NLRI[:0]
+	m.Attrs.ResetForReuse()
+
 	if len(body) < 2 {
-		return nil, fmt.Errorf("bgp: UPDATE body too short for withdrawn length")
+		return fmt.Errorf("bgp: UPDATE body too short for withdrawn length")
 	}
 	wlen := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
 	if len(body) < wlen {
-		return nil, fmt.Errorf("bgp: withdrawn routes: want %d bytes, have %d", wlen, len(body))
+		return fmt.Errorf("bgp: withdrawn routes: want %d bytes, have %d", wlen, len(body))
 	}
-	var m UpdateMessage
 	wbuf := body[:wlen]
 	body = body[wlen:]
 	for len(wbuf) > 0 {
 		p, n, err := DecodePrefixIPv4(wbuf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Withdrawn = append(m.Withdrawn, p)
 		wbuf = wbuf[n:]
 	}
 
 	if len(body) < 2 {
-		return nil, fmt.Errorf("bgp: UPDATE body too short for attribute length")
+		return fmt.Errorf("bgp: UPDATE body too short for attribute length")
 	}
 	alen := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
 	if len(body) < alen {
-		return nil, fmt.Errorf("bgp: path attributes: want %d bytes, have %d", alen, len(body))
+		return fmt.Errorf("bgp: path attributes: want %d bytes, have %d", alen, len(body))
 	}
 	if err := decodeAttrsSized(body[:alen], &m.Attrs, asnBytes); err != nil {
-		return nil, err
+		return err
 	}
 	body = body[alen:]
 
 	for len(body) > 0 {
 		p, n, err := DecodePrefixIPv4(body)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.NLRI = append(m.NLRI, p)
 		body = body[n:]
 	}
-	return &m, nil
+	return nil
 }

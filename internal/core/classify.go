@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"bgpintent/internal/bgp"
 	"bgpintent/internal/dict"
@@ -230,6 +230,120 @@ func (os *ObservationSet) AlphaOnPath(alpha uint32) bool {
 // sequential; tiny inputs are not worth goroutine startup.
 const minParallelTuples = 4096
 
+// commIndex is a CSR (compressed-sparse-row) community→path index:
+// row r covers community comms[r], whose sorted unique path IDs are
+// paths[start[r]:start[r+1]].
+type commIndex struct {
+	comms []bgp.Community
+	start []int32
+	paths []int32
+}
+
+// buildCommIndex scans the tuples (honoring the VP filter) and returns
+// the CSR community→path index plus a bitset of the path IDs observed.
+// Each worker emits (community, pathID) pairs encoded as uint64 into a
+// private flat buffer and sorts it; the sorted runs are merged (with
+// deduplication) into one run that becomes the CSR rows. No maps, no
+// per-community slices — allocation is O(workers + rows), not O(pairs).
+func buildCommIndex(ts *TupleStore, opts Options, workers int) (commIndex, bitset) {
+	tuples := ts.Tuples()
+	pathSeen := newBitset(ts.PathCount())
+	pairParts := make([][]uint64, workers)
+	seenParts := make([]bitset, workers)
+	parallelRanges(workers, len(tuples), func(w, lo, hi int) {
+		pairs := make([]uint64, 0, 2*(hi-lo))
+		seen := newBitset(ts.PathCount())
+		for i := lo; i < hi; i++ {
+			t := &tuples[i]
+			if opts.VPFilter != nil && !anyVP(ts.TupleVPs(t), opts.VPFilter) {
+				continue
+			}
+			pid := uint32(t.PathID)
+			seen.set(pid)
+			for _, c := range ts.TupleComms(t) {
+				pairs = append(pairs, uint64(c)<<32|uint64(pid))
+			}
+		}
+		slices.Sort(pairs)
+		pairParts[w] = slices.Compact(pairs)
+		seenParts[w] = seen
+	})
+	for _, p := range seenParts {
+		pathSeen.union(p)
+	}
+	merged := mergeSortedRuns(pairParts, workers)
+
+	var idx commIndex
+	idx.start = append(idx.start, 0)
+	for i, pair := range merged {
+		c := bgp.Community(pair >> 32)
+		if i == 0 || c != idx.comms[len(idx.comms)-1] {
+			idx.comms = append(idx.comms, c)
+			idx.start = append(idx.start, int32(len(idx.paths)))
+		}
+		idx.paths = append(idx.paths, int32(uint32(pair)))
+		idx.start[len(idx.start)-1] = int32(len(idx.paths))
+	}
+	return idx, pathSeen
+}
+
+// mergeSortedRuns merges sorted, deduplicated uint64 runs into one,
+// pairwise (so log₂(k) passes over the data, each pass merging pairs
+// concurrently on at most workers goroutines).
+func mergeSortedRuns(runs [][]uint64, workers int) []uint64 {
+	for len(runs) > 1 {
+		next := make([][]uint64, (len(runs)+1)/2)
+		ParallelFor(workers, len(next), func(i int) {
+			if 2*i+1 < len(runs) {
+				next[i] = mergeDedup(runs[2*i], runs[2*i+1])
+			} else {
+				next[i] = runs[2*i]
+			}
+		})
+		runs = next
+	}
+	if len(runs) == 0 {
+		return nil
+	}
+	return runs[0]
+}
+
+// mergeDedup merges two sorted deduplicated runs into one.
+func mergeDedup(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// bitset is a fixed-size bitmap over dense IDs (path IDs here).
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i uint32)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) get(i uint32) bool { return b[i/64]>>(i%64)&1 != 0 }
+
+func (b bitset) union(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
 // Observe computes per-community on/off-path statistics over unique AS
 // paths, honoring the VP filter and sibling awareness in opts. With
 // opts.Workers != 1 the two passes — tuple scanning and per-community
@@ -237,97 +351,49 @@ const minParallelTuples = 4096
 // identical to the sequential computation for every worker count.
 func Observe(ts *TupleStore, opts Options) *ObservationSet {
 	os := &ObservationSet{
-		Stats:     make(map[bgp.Community]*CommunityStats),
 		asnOnPath: make(map[uint32]bool),
 		orgOnPath: make(map[string]bool),
 		orgs:      opts.Orgs,
 	}
 
-	tuples := ts.Tuples()
 	workers := ResolveWorkers(opts.Workers)
-	if len(tuples) < minParallelTuples {
+	if len(ts.Tuples()) < minParallelTuples {
 		workers = 1
 	}
 
-	// Pass 1: collect, per community, the IDs of unique paths it
-	// appeared on, plus the on-path ASN/org sets. Each worker scans a
-	// contiguous tuple range into private maps; the merge visits workers
-	// in index order (the path-ID lists are sorted and de-duplicated in
-	// pass 2, so even that order is immaterial to the results).
-	type obsPart struct {
-		commPaths map[bgp.Community][]int32
-		asnOnPath map[uint32]bool
-		orgOnPath map[string]bool
-	}
-	parts := make([]obsPart, workers)
-	parallelRanges(workers, len(tuples), func(w, lo, hi int) {
-		p := obsPart{
-			commPaths: make(map[bgp.Community][]int32),
-			asnOnPath: make(map[uint32]bool),
-			orgOnPath: make(map[string]bool),
+	// Pass 1: build the CSR community→path index and the observed-path
+	// bitset, then derive the on-path ASN/org sets from the distinct
+	// observed paths (each path visited exactly once).
+	idx, pathSeen := buildCommIndex(ts, opts, workers)
+	for pid := 0; pid < ts.PathCount(); pid++ {
+		if !pathSeen.get(uint32(pid)) {
+			continue
 		}
-		pathSeen := make(map[int32]bool)
-		for _, t := range tuples[lo:hi] {
-			if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
-				continue
-			}
-			if !pathSeen[t.PathID] {
-				pathSeen[t.PathID] = true
-				info := ts.Path(t.PathID)
-				for _, asn := range info.ASNs {
-					p.asnOnPath[asn] = true
-				}
-				for _, org := range info.Orgs {
-					p.orgOnPath[org] = true
-				}
-			}
-			for _, c := range t.Comms {
-				p.commPaths[c] = append(p.commPaths[c], t.PathID)
-			}
-		}
-		parts[w] = p
-	})
-	commPaths := parts[0].commPaths
-	os.asnOnPath = parts[0].asnOnPath
-	os.orgOnPath = parts[0].orgOnPath
-	for _, p := range parts[1:] {
-		for c, ids := range p.commPaths {
-			commPaths[c] = append(commPaths[c], ids...)
-		}
-		for asn := range p.asnOnPath {
+		info := ts.Path(int32(pid))
+		for _, asn := range info.ASNs {
 			os.asnOnPath[asn] = true
 		}
-		for org := range p.orgOnPath {
+		for _, org := range info.Orgs {
 			os.orgOnPath[org] = true
 		}
 	}
 
-	// Pass 2: count unique on/off-path appearances per community. Each
-	// community is independent, so communities are partitioned across
-	// the pool and the per-worker stats maps (disjoint keys) merged.
-	comms := make([]bgp.Community, 0, len(commPaths))
-	for c := range commPaths {
-		comms = append(comms, c)
-	}
-	statParts := make([]map[bgp.Community]*CommunityStats, workers)
-	parallelRanges(workers, len(comms), func(w, lo, hi int) {
-		stats := make(map[bgp.Community]*CommunityStats, hi-lo)
-		for _, c := range comms[lo:hi] {
-			ids := commPaths[c]
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Pass 2: count unique on/off-path appearances per community. CSR
+	// rows are already sorted and deduplicated, so each worker walks its
+	// contiguous row range writing into a disjoint slice region — no
+	// per-community sorting and no map merging.
+	statsArr := make([]CommunityStats, len(idx.comms))
+	parallelRanges(workers, len(idx.comms), func(w, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			c := idx.comms[r]
 			alpha := uint32(c.ASN())
 			var alphaOrg string
 			var haveOrg bool
 			if opts.Orgs != nil {
 				alphaOrg, haveOrg = opts.Orgs.Org(alpha)
 			}
-			st := &CommunityStats{Comm: c}
-			var prev int32 = -1
-			for _, id := range ids {
-				if id == prev {
-					continue
-				}
-				prev = id
+			st := CommunityStats{Comm: c}
+			for _, id := range idx.paths[idx.start[r]:idx.start[r+1]] {
 				info := ts.Path(id)
 				on := containsASN(info.ASNs, alpha)
 				if !on && haveOrg {
@@ -339,14 +405,12 @@ func Observe(ts *TupleStore, opts Options) *ObservationSet {
 					st.OffPath++
 				}
 			}
-			stats[c] = st
+			statsArr[r] = st
 		}
-		statParts[w] = stats
 	})
-	for _, part := range statParts {
-		for c, st := range part {
-			os.Stats[c] = st
-		}
+	os.Stats = make(map[bgp.Community]*CommunityStats, len(idx.comms))
+	for r := range idx.comms {
+		os.Stats[idx.comms[r]] = &statsArr[r]
 	}
 	return os
 }
@@ -378,7 +442,7 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 	for a := range byAlpha {
 		alphas = append(alphas, a)
 	}
-	sort.Slice(alphas, func(i, j int) bool { return alphas[i] < alphas[j] })
+	slices.Sort(alphas)
 
 	// Each α clusters and labels independently. Workers take contiguous
 	// ranges of the sorted α list and emit clusters/exclusions in α
@@ -397,7 +461,7 @@ func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
 		var p alphaPart
 		for _, alpha := range alphas[lo:hi] {
 			betas := byAlpha[alpha]
-			sort.Slice(betas, func(i, j int) bool { return betas[i] < betas[j] })
+			slices.Sort(betas)
 
 			if !opts.DisableExclusions {
 				var reason ExcludeReason

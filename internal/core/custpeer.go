@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"bgpintent/internal/bgp"
 )
@@ -37,16 +37,18 @@ func (cp CustPeerStats) Ratio() float64 {
 func CustomerPeer(ts *TupleStore, opts Options, rels RelLookup) map[bgp.Community]*CustPeerStats {
 	out := make(map[bgp.Community]*CustPeerStats)
 	commPaths := make(map[bgp.Community][]int32)
-	for _, t := range ts.Tuples() {
-		if opts.VPFilter != nil && !anyVP(t.VPs, opts.VPFilter) {
+	tuples := ts.Tuples()
+	for i := range tuples {
+		t := &tuples[i]
+		if opts.VPFilter != nil && !anyVP(ts.TupleVPs(t), opts.VPFilter) {
 			continue
 		}
-		for _, c := range t.Comms {
+		for _, c := range ts.TupleComms(t) {
 			commPaths[c] = append(commPaths[c], t.PathID)
 		}
 	}
 	for c, ids := range commPaths {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		slices.Sort(ids)
 		alpha := uint32(c.ASN())
 		st := &CustPeerStats{Comm: c}
 		var prev int32 = -1

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -101,6 +102,121 @@ func TestTupleStoreQuick(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+// oracleStore is a deliberately naive map-based tuple store — the shape
+// the columnar TupleStore replaced — retained as a reference model:
+// path key -> canonical comms key -> VP set.
+type oracleStore struct {
+	tuples map[string]map[string]map[uint32]bool // pathKey -> commsKey -> VPs
+	paths  map[string][]uint32                   // pathKey -> distinct ASNs
+}
+
+func newOracleStore() *oracleStore {
+	return &oracleStore{
+		tuples: make(map[string]map[string]map[uint32]bool),
+		paths:  make(map[string][]uint32),
+	}
+}
+
+func (o *oracleStore) addView(vp uint32, path []uint32, comms bgp.Communities) {
+	if len(path) == 0 {
+		return
+	}
+	key := string(appendPathKey(nil, path))
+	if _, ok := o.paths[key]; !ok {
+		var distinct []uint32
+		for _, asn := range path {
+			if !containsASN(distinct, asn) {
+				distinct = append(distinct, asn)
+			}
+		}
+		o.paths[key] = distinct
+	}
+	ck := string(appendCommsKey(nil, canonicalInto(nil, comms)))
+	byComms := o.tuples[key]
+	if byComms == nil {
+		byComms = make(map[string]map[uint32]bool)
+		o.tuples[key] = byComms
+	}
+	vps := byComms[ck]
+	if vps == nil {
+		vps = make(map[uint32]bool)
+		byComms[ck] = vps
+	}
+	vps[vp] = true
+}
+
+func appendCommsKey(dst []byte, comms bgp.Communities) []byte {
+	for _, c := range comms {
+		dst = append(dst, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+	}
+	return dst
+}
+
+// TestColumnarMatchesOracleQuick: on random corpora the columnar store
+// holds exactly the oracle's logical content — same tuple set, same
+// per-tuple VP sets, same interned paths. This pins the arena/span
+// bookkeeping (VP growth, hash-collision overflow, path interning) to a
+// model too simple to share its bugs.
+func TestColumnarMatchesOracleQuick(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		ts := NewTupleStore()
+		oracle := newOracleStore()
+		for _, s := range seeds {
+			// Derive a small view from the seed: overlapping paths and
+			// community lists so dedup, VP merge, and canonicalization
+			// all fire; occasional empty comms and prepended paths.
+			vp := 1 + s%5
+			path := []uint32{vp, 100 + s%3, 100 + s%3, 200 + s%7} // prepend collapses
+			var comms bgp.Communities
+			for i := uint32(0); i < s%4; i++ {
+				comms = append(comms, bgp.NewCommunity(uint16(100+s%3), uint16((s+i)%9)))
+			}
+			ts.AddView(vp, path, comms)
+			oracle.addView(vp, path, comms)
+		}
+		if ts.Len() != countOracleTuples(oracle) {
+			return false
+		}
+		if ts.PathCount() != len(oracle.paths) {
+			return false
+		}
+		tuples := ts.Tuples()
+		for i := range tuples {
+			tu := &tuples[i]
+			key := ts.pathKeys[tu.PathID]
+			if !slices.Equal(ts.Path(tu.PathID).ASNs, oracle.paths[key]) {
+				return false
+			}
+			ck := string(appendCommsKey(nil, ts.TupleComms(tu)))
+			wantVPs := oracle.tuples[key][ck]
+			gotVPs := ts.TupleVPs(tu)
+			if len(gotVPs) != len(wantVPs) {
+				return false
+			}
+			for _, vp := range gotVPs {
+				if !wantVPs[vp] {
+					return false
+				}
+			}
+			if !slices.IsSorted(gotVPs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func countOracleTuples(o *oracleStore) int {
+	n := 0
+	for _, byComms := range o.tuples {
+		n += len(byComms)
+	}
+	return n
 }
 
 // TestCommunityStatsRatioQuick: the ratio is finite, non-negative and

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"bgpintent/internal/bgp"
@@ -65,6 +66,25 @@ func (s *ShardedTupleStore) AddView(vp uint32, path []uint32, comms bgp.Communit
 	addScratchPool.Put(sc)
 }
 
+// AddViewASPath is AddView taking the path as an un-flattened
+// bgp.ASPath: the flattening happens into pooled scratch, so callers
+// feeding decoded MRT attributes avoid the per-view []uint32 allocation
+// of ASPath.Flatten.
+func (s *ShardedTupleStore) AddViewASPath(vp uint32, path bgp.ASPath, comms bgp.Communities) {
+	sc := addScratchPool.Get().(*addScratch)
+	sc.flat = path.AppendFlatten(sc.flat[:0])
+	if len(sc.flat) == 0 {
+		addScratchPool.Put(sc)
+		return
+	}
+	sc.key = appendPathKey(sc.key[:0], sc.flat)
+	sh := &s.shards[hashKey(sc.key)&s.mask]
+	sh.mu.Lock()
+	sh.ts.addViewKeyed(vp, sc.key, sc.flat, comms, sc)
+	sh.mu.Unlock()
+	addScratchPool.Put(sc)
+}
+
 // NoteLarge records large communities; safe for concurrent use.
 func (s *ShardedTupleStore) NoteLarge(ls bgp.LargeCommunities) {
 	for _, lc := range ls {
@@ -95,36 +115,80 @@ func (s *ShardedTupleStore) Len() int {
 // observations interleaved across goroutines, so the merged store is
 // deterministic for a given input set. The merged store takes ownership
 // of the shard contents; the sharded store must not be used afterwards.
+//
+// The merged arenas are pre-sized from the shard totals and VP lists
+// are copied compacted (capacity == length), so the merged store
+// carries none of the shards' growth slack.
 func (s *ShardedTupleStore) Merge() *TupleStore {
 	out := NewTupleStore()
+	var nTuples, nComms, nVPs, nPaths, nASNs int
+	for i := range s.shards {
+		ts := s.shards[i].ts
+		nTuples += len(ts.tuples)
+		nComms += len(ts.commArena)
+		nPaths += len(ts.paths)
+		nASNs += len(ts.asnArena)
+		for j := range ts.tuples {
+			nVPs += int(ts.tuples[j].vpLen)
+		}
+	}
+	out.tuples = make([]Tuple, 0, nTuples)
+	out.commArena = make([]bgp.Community, 0, nComms)
+	out.vpArena = make([]uint32, 0, nVPs)
+	out.paths = make([]pathMeta, 0, nPaths)
+	out.asnArena = make([]uint32, 0, nASNs)
+	out.pathKeys = make([]string, 0, nPaths)
+
 	for i := range s.shards {
 		ts := s.shards[i].ts
 		order := make([]int32, len(ts.tuples))
 		for j := range order {
 			order[j] = int32(j)
 		}
-		sort.Slice(order, func(a, b int) bool {
-			ta, tb := ts.tuples[order[a]], ts.tuples[order[b]]
-			ka, kb := ts.pathKeys[ta.PathID], ts.pathKeys[tb.PathID]
-			if ka != kb {
-				return ka < kb
+		slices.SortFunc(order, func(a, b int32) int {
+			ta, tb := &ts.tuples[a], &ts.tuples[b]
+			if c := strings.Compare(ts.pathKeys[ta.PathID], ts.pathKeys[tb.PathID]); c != 0 {
+				return c
 			}
-			return lessComms(ta.Comms, tb.Comms)
+			return compareComms(ts.TupleComms(ta), ts.TupleComms(tb))
 		})
 		for _, ti := range order {
-			t := ts.tuples[ti]
-			id, ok := out.pathIDs[ts.pathKeys[t.PathID]]
+			t := &ts.tuples[ti]
+			key := ts.pathKeys[t.PathID]
+			id, ok := out.pathIDs[key]
 			if !ok {
+				// Shard routing is a pure function of the path key, so
+				// this path cannot appear in any other shard: copy its
+				// ASNs over once.
 				id = int32(len(out.paths))
-				key := ts.pathKeys[t.PathID]
-				out.paths = append(out.paths, ts.paths[t.PathID])
+				asns := ts.Path(t.PathID).ASNs
+				off := uint32(len(out.asnArena))
+				out.asnArena = append(out.asnArena, asns...)
+				out.paths = append(out.paths, pathMeta{asns: span{off: off, n: uint32(len(asns))}})
 				out.pathIDs[key] = id
 				out.pathKeys = append(out.pathKeys, key)
 			}
-			t.PathID = id
-			tk := tupleKey{pathID: id, commsHash: hashComms(t.Comms)}
-			out.tupleIdx[tk] = append(out.tupleIdx[tk], int32(len(out.tuples)))
-			out.tuples = append(out.tuples, t)
+			comms := ts.TupleComms(t)
+			vps := ts.TupleVPs(t)
+			commOff := uint32(len(out.commArena))
+			out.commArena = append(out.commArena, comms...)
+			vpOff := uint32(len(out.vpArena))
+			out.vpArena = append(out.vpArena, vps...)
+			idx := int32(len(out.tuples))
+			tk := tupleKey{pathID: id, commsHash: hashComms(comms)}
+			if _, dup := out.tupleIdx[tk]; dup {
+				if out.tupleDup == nil {
+					out.tupleDup = make(map[tupleKey][]int32)
+				}
+				out.tupleDup[tk] = append(out.tupleDup[tk], idx)
+			} else {
+				out.tupleIdx[tk] = idx
+			}
+			out.tuples = append(out.tuples, Tuple{
+				PathID: id,
+				comms:  span{off: commOff, n: uint32(len(comms))},
+				vpOff:  vpOff, vpLen: uint32(len(vps)), vpCap: uint32(len(vps)),
+			})
 		}
 		for lc := range ts.large {
 			out.large[lc] = struct{}{}
@@ -133,18 +197,18 @@ func (s *ShardedTupleStore) Merge() *TupleStore {
 	return out
 }
 
-// lessComms orders canonical community lists lexicographically.
-func lessComms(a, b bgp.Communities) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
+// compareComms orders canonical community lists lexicographically.
+func compareComms(a, b bgp.Communities) int {
+	n := min(len(a), len(b))
 	for i := 0; i < n; i++ {
 		if a[i] != b[i] {
-			return a[i] < b[i]
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a) < len(b)
+	return len(a) - len(b)
 }
 
 // splitmix64 is the splitmix64 finalizer, used to spread large-community

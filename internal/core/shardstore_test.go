@@ -56,8 +56,9 @@ func genViews(seed int64, n int) []synthView {
 // plus the large-community set.
 func dumpStore(ts *TupleStore) []string {
 	lines := make([]string, 0, len(ts.tuples)+len(ts.large))
-	for _, t := range ts.tuples {
-		lines = append(lines, fmt.Sprintf("t %x %v %v %v", ts.pathKeys[t.PathID], ts.paths[t.PathID].ASNs, t.Comms, t.VPs))
+	for i := range ts.tuples {
+		t := &ts.tuples[i]
+		lines = append(lines, fmt.Sprintf("t %x %v %v %v", ts.pathKeys[t.PathID], ts.Path(t.PathID).ASNs, ts.TupleComms(t), ts.TupleVPs(t)))
 	}
 	larges := make([]string, 0, len(ts.large))
 	for lc := range ts.large {

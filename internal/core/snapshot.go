@@ -18,12 +18,13 @@ package core
 
 import (
 	"bytes"
+	"cmp"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"sort"
+	"slices"
 
 	"bgpintent/internal/bgp"
 	"bgpintent/internal/dict"
@@ -106,8 +107,8 @@ func WriteSnapshot(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 	}
 	// Deterministic bytes for identical inferences, regardless of map
 	// iteration order.
-	sort.Slice(body.Excluded, func(i, j int) bool {
-		return body.Excluded[i].Comm < body.Excluded[j].Comm
+	slices.SortFunc(body.Excluded, func(a, b snapshotExcluded) int {
+		return cmp.Compare(a.Comm, b.Comm)
 	})
 	var bodyBuf bytes.Buffer
 	if err := gob.NewEncoder(&bodyBuf).Encode(&body); err != nil {

@@ -7,31 +7,53 @@ package core
 
 import (
 	"encoding/binary"
-	"sort"
+	"slices"
 	"sync"
 
 	"bgpintent/internal/bgp"
 )
 
-// PathInfo is one interned AS path.
+// span is an offset+length view into one of the store's shared arenas.
+// Offsets are 32-bit: the paper-scale corpus (≈174M tuples) stays well
+// under 4G arena entries per store because ingestion shards first.
+type span struct {
+	off, n uint32
+}
+
+// PathInfo is one interned AS path, viewed out of the store's arenas.
+// The slices alias shared storage and must not be mutated.
 type PathInfo struct {
 	ASNs []uint32 // distinct ASNs on the path, in first-appearance order
 	Orgs []string // distinct organizations of those ASNs (when mapped)
 }
 
-// Tuple is one unique (AS path, communities) observation with the
-// vantage points that reported it.
+// pathMeta locates one interned path's ASNs and organizations in the
+// store arenas.
+type pathMeta struct {
+	asns span
+	orgs span
+}
+
+// Tuple is one unique (AS path, communities) observation. The
+// communities and vantage points live in the store's shared arenas;
+// read them through TupleStore.TupleComms and TupleStore.TupleVPs.
+// Tuples are plain values in one flat slice — no per-tuple pointers,
+// no per-tuple slice headers.
 type Tuple struct {
 	PathID int32
-	Comms  bgp.Communities // canonical (sorted, deduplicated)
-	VPs    []uint32        // sorted distinct vantage points
+	comms  span
+	// The VP list is the one per-tuple field that grows after creation,
+	// so it carries a capacity: when full it relocates to the arena
+	// tail with doubled capacity (amortized O(1), bounded dead space).
+	vpOff, vpLen, vpCap uint32
 }
 
 // tupleKey is the fixed-size dedup key of one (path, communities)
 // tuple: the interned path ID plus a 64-bit hash of the canonical
 // communities. Tuples whose communities collide on the hash are
-// disambiguated by comparing the communities themselves (the index maps
-// to a candidate list), so the key is compact without being lossy.
+// disambiguated by comparing the communities themselves (a rare
+// overflow list holds the extra candidates), so the key is compact
+// without being lossy.
 type tupleKey struct {
 	pathID    int32
 	commsHash uint64
@@ -40,12 +62,28 @@ type tupleKey struct {
 // TupleStore interns AS paths and deduplicates (path, communities)
 // tuples, the §4 data reduction (the paper extracts ≈174M such tuples
 // from one week of RouteViews/RIS data).
+//
+// Storage is columnar (struct-of-arrays): tuples are one flat []Tuple,
+// and their variable-length payloads — community lists, VP lists, path
+// ASN sequences, path org lists — are offset+length views into four
+// append-only arenas. The hot ingest path therefore allocates only
+// when an arena or the flat slice grows, not per tuple.
 type TupleStore struct {
-	paths    []PathInfo
+	paths    []pathMeta
+	asnArena []uint32 // all interned path ASN sequences
+	orgArena []string // all path org lists (filled by AnnotateOrgs)
 	pathIDs  map[string]int32
 	pathKeys []string // path ID -> binary path key (shares pathIDs' key storage)
-	tuples   []*Tuple
-	tupleIdx map[tupleKey][]int32
+
+	tuples    []Tuple
+	commArena []bgp.Community // all tuple community lists (append-only, never relocated)
+	vpArena   []uint32        // all tuple VP lists (relocating; see Tuple)
+
+	// tupleIdx maps a dedup key to its first tuple; tupleDup holds the
+	// (vanishingly rare) extra tuples whose communities collide on the
+	// hash, so the common case costs one map entry and zero slices.
+	tupleIdx map[tupleKey]int32
+	tupleDup map[tupleKey][]int32
 
 	// large counts distinct large (96-bit) communities seen alongside the
 	// regular ones. The paper records their prevalence (11,524 vs 88,982
@@ -57,7 +95,7 @@ type TupleStore struct {
 func NewTupleStore() *TupleStore {
 	return &TupleStore{
 		pathIDs:  make(map[string]int32),
-		tupleIdx: make(map[tupleKey][]int32),
+		tupleIdx: make(map[tupleKey]int32),
 		large:    make(map[bgp.LargeCommunity]struct{}),
 	}
 }
@@ -88,47 +126,12 @@ func appendPathKey(dst []byte, path []uint32) []byte {
 	return dst
 }
 
-// hashKey is FNV-1a over a binary key; it routes paths to shards and
-// feeds tupleKey.commsHash.
-func hashKey(b []byte) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range b {
-		h ^= uint64(c)
-		h *= prime64
-	}
-	return h
-}
-
-// hashComms is FNV-1a over canonical communities.
-func hashComms(comms bgp.Communities) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for _, c := range comms {
-		v := uint32(c)
-		h ^= uint64(v & 0xff)
-		h *= prime64
-		h ^= uint64(v >> 8 & 0xff)
-		h *= prime64
-		h ^= uint64(v >> 16 & 0xff)
-		h *= prime64
-		h ^= uint64(v >> 24)
-		h *= prime64
-	}
-	return h
-}
-
 // addScratch holds the per-AddView working buffers; pooled so the hot
 // path allocates nothing when it hits existing paths and tuples.
 type addScratch struct {
 	key   []byte
 	comms bgp.Communities
+	flat  []uint32 // AS-path flattening buffer for AddViewASPath
 }
 
 var addScratchPool = sync.Pool{New: func() any { return new(addScratch) }}
@@ -170,22 +173,21 @@ func commsEqual(a, b bgp.Communities) bool {
 // internPathKey returns the path ID for a path whose binary key has
 // already been rendered, creating the entry if new. The key bytes are
 // only copied to a string on insertion; lookups are allocation-free.
+// The distinct-ASN sequence is appended to the shared ASN arena (AS
+// paths are short, so the in-arena dedup scan beats a map).
 func (ts *TupleStore) internPathKey(key []byte, path []uint32) int32 {
 	if id, ok := ts.pathIDs[string(key)]; ok {
 		return id
 	}
 	id := int32(len(ts.paths))
-	seen := make(map[uint32]struct{}, len(path))
-	info := PathInfo{ASNs: make([]uint32, 0, len(path))}
+	off := uint32(len(ts.asnArena))
 	for _, asn := range path {
-		if _, dup := seen[asn]; dup {
-			continue
+		if !containsASN(ts.asnArena[off:], asn) {
+			ts.asnArena = append(ts.asnArena, asn)
 		}
-		seen[asn] = struct{}{}
-		info.ASNs = append(info.ASNs, asn)
 	}
 	skey := string(key)
-	ts.paths = append(ts.paths, info)
+	ts.paths = append(ts.paths, pathMeta{asns: span{off: off, n: uint32(len(ts.asnArena)) - off}})
 	ts.pathIDs[skey] = id
 	ts.pathKeys = append(ts.pathKeys, skey)
 	return id
@@ -213,26 +215,70 @@ func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms b
 	sc.comms = canonicalInto(sc.comms, comms)
 	canon := sc.comms
 	tk := tupleKey{pathID: id, commsHash: hashComms(canon)}
-	for _, ti := range ts.tupleIdx[tk] {
-		t := ts.tuples[ti]
-		if !commsEqual(t.Comms, canon) {
-			continue
+	if ti, ok := ts.tupleIdx[tk]; ok {
+		if ts.addVPIfMatch(ti, canon, vp) {
+			return
 		}
-		pos := sort.Search(len(t.VPs), func(i int) bool { return t.VPs[i] >= vp })
-		if pos == len(t.VPs) || t.VPs[pos] != vp {
-			t.VPs = append(t.VPs, 0)
-			copy(t.VPs[pos+1:], t.VPs[pos:])
-			t.VPs[pos] = vp
+		for _, di := range ts.tupleDup[tk] {
+			if ts.addVPIfMatch(di, canon, vp) {
+				return
+			}
 		}
-		return
+		// Hash collision: a distinct community list under the same key.
+		if ts.tupleDup == nil {
+			ts.tupleDup = make(map[tupleKey][]int32)
+		}
+		ts.tupleDup[tk] = append(ts.tupleDup[tk], int32(len(ts.tuples)))
+	} else {
+		ts.tupleIdx[tk] = int32(len(ts.tuples))
 	}
-	var owned bgp.Communities
-	if len(canon) > 0 {
-		owned = append(bgp.Communities(nil), canon...)
+	commOff := uint32(len(ts.commArena))
+	ts.commArena = append(ts.commArena, canon...)
+	vpOff := uint32(len(ts.vpArena))
+	ts.vpArena = append(ts.vpArena, vp)
+	ts.tuples = append(ts.tuples, Tuple{
+		PathID: id,
+		comms:  span{off: commOff, n: uint32(len(canon))},
+		vpOff:  vpOff, vpLen: 1, vpCap: 1,
+	})
+}
+
+// addVPIfMatch merges vp into tuple ti if its communities equal canon,
+// reporting whether it did.
+func (ts *TupleStore) addVPIfMatch(ti int32, canon bgp.Communities, vp uint32) bool {
+	t := &ts.tuples[ti]
+	if !commsEqual(ts.TupleComms(t), canon) {
+		return false
 	}
-	t := &Tuple{PathID: id, Comms: owned, VPs: []uint32{vp}}
-	ts.tupleIdx[tk] = append(ts.tupleIdx[tk], int32(len(ts.tuples)))
-	ts.tuples = append(ts.tuples, t)
+	vps := ts.vpArena[t.vpOff : t.vpOff+t.vpLen]
+	pos, found := slices.BinarySearch(vps, vp)
+	if found {
+		return true
+	}
+	if t.vpLen == t.vpCap {
+		ts.growVPs(t)
+	}
+	vps = ts.vpArena[t.vpOff : t.vpOff+t.vpLen+1]
+	copy(vps[pos+1:], vps[pos:])
+	vps[pos] = vp
+	t.vpLen++
+	return true
+}
+
+// growVPs doubles a tuple's VP capacity: in place when the tuple sits at
+// the arena tail, otherwise by relocating it there. Each relocation
+// doubles the capacity, so the dead space left behind stays bounded by
+// the live data.
+func (ts *TupleStore) growVPs(t *Tuple) {
+	newCap := t.vpCap * 2
+	if int(t.vpOff+t.vpCap) != len(ts.vpArena) {
+		newOff := uint32(len(ts.vpArena))
+		ts.vpArena = append(ts.vpArena, ts.vpArena[t.vpOff:t.vpOff+t.vpLen]...)
+		t.vpOff = newOff
+	}
+	need := int(t.vpOff) + int(newCap)
+	ts.vpArena = slices.Grow(ts.vpArena, need-len(ts.vpArena))[:need]
+	t.vpCap = newCap
 }
 
 // Len returns the number of unique tuples.
@@ -241,50 +287,60 @@ func (ts *TupleStore) Len() int { return len(ts.tuples) }
 // PathCount returns the number of interned unique paths.
 func (ts *TupleStore) PathCount() int { return len(ts.paths) }
 
-// Path returns the interned path info for a tuple's PathID.
-func (ts *TupleStore) Path(id int32) *PathInfo { return &ts.paths[id] }
+// Path returns the interned path info for a tuple's PathID. The
+// returned views alias the store arenas; do not mutate them.
+func (ts *TupleStore) Path(id int32) PathInfo {
+	p := &ts.paths[id]
+	return PathInfo{
+		ASNs: ts.asnArena[p.asns.off : p.asns.off+p.asns.n],
+		Orgs: ts.orgArena[p.orgs.off : p.orgs.off+p.orgs.n],
+	}
+}
 
-// Tuples returns the tuple list (shared storage; do not mutate).
-func (ts *TupleStore) Tuples() []*Tuple { return ts.tuples }
+// Tuples returns the flat tuple slice (shared storage; do not mutate).
+// Iterate by index and resolve payloads through TupleComms/TupleVPs.
+func (ts *TupleStore) Tuples() []Tuple { return ts.tuples }
+
+// TupleComms returns a tuple's canonical community list (a view into
+// the community arena; do not mutate).
+func (ts *TupleStore) TupleComms(t *Tuple) bgp.Communities {
+	return ts.commArena[t.comms.off : t.comms.off+t.comms.n]
+}
+
+// TupleVPs returns a tuple's sorted distinct vantage points (a view
+// into the VP arena; do not mutate).
+func (ts *TupleStore) TupleVPs(t *Tuple) []uint32 {
+	return ts.vpArena[t.vpOff : t.vpOff+t.vpLen]
+}
 
 // VPSet returns the distinct vantage points across all tuples.
 func (ts *TupleStore) VPSet() []uint32 {
-	set := make(map[uint32]struct{})
-	for _, t := range ts.tuples {
-		for _, vp := range t.VPs {
-			set[vp] = struct{}{}
-		}
+	out := make([]uint32, 0, 64)
+	for i := range ts.tuples {
+		out = append(out, ts.TupleVPs(&ts.tuples[i])...)
 	}
-	out := make([]uint32, 0, len(set))
-	for vp := range set {
-		out = append(out, vp)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // Communities returns the distinct communities across all tuples, sorted.
 func (ts *TupleStore) Communities() []bgp.Community {
-	set := make(map[bgp.Community]struct{})
-	for _, t := range ts.tuples {
-		for _, c := range t.Comms {
-			set[c] = struct{}{}
-		}
-	}
-	out := make([]bgp.Community, 0, len(set))
-	for c := range set {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// The community arena is append-only with no dead regions, so it is
+	// exactly the concatenation of every tuple's list.
+	out := make([]bgp.Community, len(ts.commArena))
+	copy(out, ts.commArena)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
-// AllPaths returns every interned path's distinct-ASN sequence (shared
-// storage; do not mutate). Suitable input for AS-relationship inference.
+// AllPaths returns every interned path's distinct-ASN sequence (views
+// into shared storage; do not mutate). Suitable input for
+// AS-relationship inference.
 func (ts *TupleStore) AllPaths() [][]uint32 {
 	out := make([][]uint32, len(ts.paths))
 	for i := range ts.paths {
-		out[i] = ts.paths[i].ASNs
+		s := ts.paths[i].asns
+		out[i] = ts.asnArena[s.off : s.off+s.n]
 	}
 	return out
 }
@@ -299,17 +355,17 @@ type OrgMapper interface {
 // mapper. Call once after loading all data and before classification
 // when sibling awareness is wanted.
 func (ts *TupleStore) AnnotateOrgs(orgs OrgMapper) {
+	ts.orgArena = ts.orgArena[:0]
 	for i := range ts.paths {
 		p := &ts.paths[i]
-		p.Orgs = p.Orgs[:0]
-		seen := make(map[string]struct{}, len(p.ASNs))
-		for _, asn := range p.ASNs {
+		off := uint32(len(ts.orgArena))
+		for _, asn := range ts.asnArena[p.asns.off : p.asns.off+p.asns.n] {
 			if org, ok := orgs.Org(asn); ok {
-				if _, dup := seen[org]; !dup {
-					seen[org] = struct{}{}
-					p.Orgs = append(p.Orgs, org)
+				if !containsOrg(ts.orgArena[off:], org) {
+					ts.orgArena = append(ts.orgArena, org)
 				}
 			}
 		}
+		p.orgs = span{off: off, n: uint32(len(ts.orgArena)) - off}
 	}
 }

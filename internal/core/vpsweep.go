@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"bgpintent/internal/bgp"
 )
@@ -48,16 +49,18 @@ func NewVPSweep(ts *TupleStore, opts Options) *VPSweep {
 	s.words = (len(s.vps) + 63) / 64
 
 	commSet := make(map[bgp.Community]struct{})
-	for ti, t := range ts.Tuples() {
+	tuples := ts.Tuples()
+	for ti := range tuples {
+		t := &tuples[ti]
 		mask := make([]uint64, s.words)
-		for _, vp := range t.VPs {
+		for _, vp := range ts.TupleVPs(t) {
 			bit := s.vpIdx[vp]
 			mask[bit/64] |= 1 << (bit % 64)
 		}
 		s.masks = append(s.masks, mask)
 		s.paths[t.PathID] = append(s.paths[t.PathID], int32(ti))
 		info := ts.Path(t.PathID)
-		for _, c := range t.Comms {
+		for _, c := range ts.TupleComms(t) {
 			commSet[c] = struct{}{}
 			s.recs = append(s.recs, vpRec{
 				comm:   c,
@@ -67,21 +70,21 @@ func NewVPSweep(ts *TupleStore, opts Options) *VPSweep {
 			})
 		}
 	}
-	sort.Slice(s.recs, func(i, j int) bool {
-		if s.recs[i].comm != s.recs[j].comm {
-			return s.recs[i].comm < s.recs[j].comm
+	slices.SortFunc(s.recs, func(a, b vpRec) int {
+		if c := cmp.Compare(a.comm, b.comm); c != 0 {
+			return c
 		}
-		return s.recs[i].path < s.recs[j].path
+		return cmp.Compare(a.path, b.path)
 	})
 	s.comms = make([]bgp.Community, 0, len(commSet))
 	for c := range commSet {
 		s.comms = append(s.comms, c)
 	}
-	sort.Slice(s.comms, func(i, j int) bool { return s.comms[i] < s.comms[j] })
+	slices.Sort(s.comms)
 	return s
 }
 
-func (s *VPSweep) onPath(info *PathInfo, alpha uint32) bool {
+func (s *VPSweep) onPath(info PathInfo, alpha uint32) bool {
 	if containsASN(info.ASNs, alpha) {
 		return true
 	}

@@ -155,9 +155,11 @@ func Classify(ts *core.TupleStore, intent *core.Inferences, geo locinfer.Session
 		path int32
 	}
 	seen := make(map[commPath]struct{})
-	for _, t := range ts.Tuples() {
+	tuples := ts.Tuples()
+	for i := range tuples {
+		t := &tuples[i]
 		asns := ts.Path(t.PathID).ASNs
-		for _, c := range t.Comms {
+		for _, c := range ts.TupleComms(t) {
 			if intent.Category(c) != dict.CatInformation {
 				continue
 			}

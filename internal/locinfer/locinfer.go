@@ -115,9 +115,11 @@ func Infer(ts *core.TupleStore, geo SessionGeo, cfg Config) []Inference {
 		}
 	}
 
-	for _, t := range ts.Tuples() {
+	tuples := ts.Tuples()
+	for i := range tuples {
+		t := &tuples[i]
 		asns := ts.Path(t.PathID).ASNs
-		for _, c := range t.Comms {
+		for _, c := range ts.TupleComms(t) {
 			alpha := uint32(c.ASN())
 			// Find α and its downstream neighbor on this path.
 			pos := -1

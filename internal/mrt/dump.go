@@ -69,11 +69,16 @@ type ScanOptions struct {
 }
 
 func (o *ScanOptions) reader(r io.Reader) *Reader {
+	var rd *Reader
 	if o.Lenient {
-		return NewLenientReader(r, o.Stats)
+		rd = NewLenientReader(r, o.Stats)
+	} else {
+		rd = NewReader(r)
+		rd.stats = o.Stats
 	}
-	rd := NewReader(r)
-	rd.stats = o.Stats
+	// The scanners fully decode each record before reading the next, so
+	// the record and its body buffer can be recycled.
+	rd.ReuseRecord()
 	return rd
 }
 
@@ -91,7 +96,9 @@ type TableDumpScanner struct {
 	r       *Reader
 	opts    ScanOptions
 	table   *PeerIndexTable
+	rib     RIB  // reusable decode target; current points here once filled
 	current *RIB
+	view    RIBView // reusable return value
 	curOff  int64
 	pos     int
 	err     error
@@ -118,7 +125,9 @@ func (s *TableDumpScanner) PeerTable() *PeerIndexTable { return s.table }
 // configured).
 func (s *TableDumpScanner) Stats() *Stats { return s.opts.Stats }
 
-// Next returns the next RIBView, or io.EOF at end of stream.
+// Next returns the next RIBView, or io.EOF at end of stream. The view
+// is owned by the scanner and valid only until the following Next call;
+// callers that retain it must copy what they need.
 func (s *TableDumpScanner) Next() (*RIBView, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -146,11 +155,12 @@ func (s *TableDumpScanner) next() (*RIBView, error) {
 				}
 				continue
 			}
-			return &RIBView{
+			s.view = RIBView{
 				Peer:   s.table.Peers[e.PeerIndex],
 				Prefix: s.current.Prefix,
 				Entry:  e,
-			}, nil
+			}
+			return &s.view, nil
 		}
 		rec, err := s.r.Next()
 		if err != nil {
@@ -178,15 +188,18 @@ func (s *TableDumpScanner) next() (*RIBView, error) {
 					s.opts.Stats.noteDecoded()
 				}
 			case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
-				rib, perr := ParseRIB(rec.Subtype, rec.Body)
+				perr := ParseRIBInto(rec.Subtype, rec.Body, &s.rib)
 				if perr != nil {
+					// A failed decode leaves the reused RIB in an
+					// unspecified state; drop any stale reference.
+					s.current = nil
 					if !s.opts.Lenient {
 						return nil, fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
 					}
 					s.opts.Stats.noteSkip("rib")
 					s.r.Reject(rec)
 				} else {
-					s.current = rib
+					s.current = &s.rib
 					s.curOff = rec.Offset
 					s.pos = 0
 					s.opts.Stats.noteDecoded()
@@ -246,6 +259,8 @@ type UpdateView struct {
 type UpdateScanner struct {
 	r    *Reader
 	opts ScanOptions
+	upd  bgp.UpdateMessage // reusable decode target
+	view UpdateView        // reusable return value
 	err  error
 }
 
@@ -267,7 +282,9 @@ func NewUpdateScannerOptions(r io.Reader, opts ScanOptions) *UpdateScanner {
 // configured).
 func (s *UpdateScanner) Stats() *Stats { return s.opts.Stats }
 
-// Next returns the next decoded update, or io.EOF at end of stream.
+// Next returns the next decoded update, or io.EOF at end of stream. The
+// view is owned by the scanner and valid only until the following Next
+// call; callers that retain it must copy what they need.
 func (s *UpdateScanner) Next() (*UpdateView, error) {
 	if s.err != nil {
 		return nil, s.err
@@ -347,14 +364,14 @@ func (s *UpdateScanner) decode(rec *Record) (*UpdateView, error) {
 	if len(m.Message) >= 19 && m.Message[18] != bgp.MsgTypeUpdate {
 		return nil, nil // keepalive/open/notification
 	}
-	upd, err := bgp.DecodeUpdateSized(m.Message, asn)
-	if err != nil {
+	if err := bgp.DecodeUpdateSizedInto(m.Message, asn, &s.upd); err != nil {
 		return nil, fmt.Errorf("mrt: BGP4MP update: %w", err)
 	}
-	return &UpdateView{
+	s.view = UpdateView{
 		Timestamp: rec.Timestamp,
 		PeerAS:    m.PeerAS,
 		PeerAddr:  m.PeerAddr,
-		Update:    upd,
-	}, nil
+		Update:    &s.upd,
+	}
+	return &s.view, nil
 }

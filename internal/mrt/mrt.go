@@ -196,7 +196,15 @@ type Reader struct {
 	lenient bool
 	stats   *Stats
 	rejects int
+	reuse   bool
+	rec     Record
 }
+
+// ReuseRecord makes Next return the same Record every time, with its
+// body buffer recycled between calls: a record is then valid only until
+// the following Next. The scanners enable this — they fully decode each
+// record before advancing — but callers that retain records must not.
+func (r *Reader) ReuseRecord() { r.reuse = true }
 
 // NewReader returns a strict streaming MRT record reader.
 func NewReader(r io.Reader) *Reader {
@@ -310,13 +318,18 @@ func (r *Reader) next() (*Record, error) {
 			}
 			continue
 		}
-		rec := &Record{
-			Offset:    r.offset,
-			Timestamp: binary.BigEndian.Uint32(h[0:4]),
-			Type:      binary.BigEndian.Uint16(h[4:6]),
-			Subtype:   binary.BigEndian.Uint16(h[6:8]),
-			Body:      make([]byte, n),
+		rec := &Record{}
+		if r.reuse {
+			rec = &r.rec
 		}
+		if cap(rec.Body) < int(n) {
+			rec.Body = make([]byte, n)
+		}
+		rec.Offset = r.offset
+		rec.Timestamp = binary.BigEndian.Uint32(h[0:4])
+		rec.Type = binary.BigEndian.Uint16(h[4:6])
+		rec.Subtype = binary.BigEndian.Uint16(h[6:8])
+		rec.Body = rec.Body[:n]
 		r.discard(recordHeaderLen)
 		m, err := io.ReadFull(r.br, rec.Body)
 		r.offset += int64(m)
@@ -651,10 +664,22 @@ func (rib *RIB) Encode() ([]byte, error) {
 // ParseRIB decodes a RIB_IPV4_UNICAST or RIB_IPV6_UNICAST record body;
 // subtype selects the address family.
 func ParseRIB(subtype uint16, body []byte) (*RIB, error) {
-	if len(body) < 4 {
-		return nil, fmt.Errorf("mrt: RIB: short body")
-	}
 	var rib RIB
+	if err := ParseRIBInto(subtype, body, &rib); err != nil {
+		return nil, err
+	}
+	return &rib, nil
+}
+
+// ParseRIBInto is ParseRIB decoding into a caller-owned RIB: rib's
+// previous contents are discarded, but its entry slice and each entry's
+// attribute storage are reused, so a scan loop recycling one RIB runs
+// allocation-free at steady state. On error rib's contents are
+// unspecified.
+func ParseRIBInto(subtype uint16, body []byte, rib *RIB) error {
+	if len(body) < 4 {
+		return fmt.Errorf("mrt: RIB: short body")
+	}
 	rib.SequenceNumber = binary.BigEndian.Uint32(body[:4])
 	body = body[4:]
 	var (
@@ -667,40 +692,47 @@ func ParseRIB(subtype uint16, body []byte) (*RIB, error) {
 	case SubtypeRIBIPv6Unicast:
 		rib.Prefix, n, err = bgp.DecodePrefixIPv6(body)
 	default:
-		return nil, fmt.Errorf("mrt: RIB: unsupported subtype %d", subtype)
+		return fmt.Errorf("mrt: RIB: unsupported subtype %d", subtype)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("mrt: RIB prefix: %w", err)
+		return fmt.Errorf("mrt: RIB prefix: %w", err)
 	}
 	body = body[n:]
 	if len(body) < 2 {
-		return nil, fmt.Errorf("mrt: RIB: truncated entry count")
+		return fmt.Errorf("mrt: RIB: truncated entry count")
 	}
 	count := int(binary.BigEndian.Uint16(body[:2]))
 	body = body[2:]
-	rib.Entries = make([]RIBEntry, 0, count)
+	entries := rib.Entries[:0]
+	if cap(entries) < count {
+		entries = make([]RIBEntry, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		if len(body) < 8 {
-			return nil, fmt.Errorf("mrt: RIB: truncated entry %d header", i)
+			return fmt.Errorf("mrt: RIB: truncated entry %d header", i)
 		}
-		var e RIBEntry
+		// Grow into the slot left by a previous decode where possible,
+		// keeping that entry's attribute storage for reuse.
+		entries = entries[:i+1]
+		e := &entries[i]
+		e.Attrs.ResetForReuse()
 		e.PeerIndex = binary.BigEndian.Uint16(body[0:2])
 		e.OriginatedTime = binary.BigEndian.Uint32(body[2:6])
 		alen := int(binary.BigEndian.Uint16(body[6:8]))
 		body = body[8:]
 		if len(body) < alen {
-			return nil, fmt.Errorf("mrt: RIB: truncated entry %d attributes", i)
+			return fmt.Errorf("mrt: RIB: truncated entry %d attributes", i)
 		}
 		if err := bgp.DecodeAttrs(body[:alen], &e.Attrs); err != nil {
-			return nil, fmt.Errorf("mrt: RIB entry %d: %w", i, err)
+			return fmt.Errorf("mrt: RIB entry %d: %w", i, err)
 		}
 		body = body[alen:]
-		rib.Entries = append(rib.Entries, e)
 	}
+	rib.Entries = entries
 	if len(body) != 0 {
-		return nil, fmt.Errorf("mrt: RIB: %d trailing bytes", len(body))
+		return fmt.Errorf("mrt: RIB: %d trailing bytes", len(body))
 	}
-	return &rib, nil
+	return nil
 }
 
 // BGP4MPMessage is a BGP4MP_MESSAGE_AS4 record: one BGP message observed

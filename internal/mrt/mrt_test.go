@@ -264,7 +264,8 @@ func TestTableDumpWriterScannerEndToEnd(t *testing.T) {
 	}
 
 	s := NewTableDumpScanner(&buf)
-	var views []*RIBView
+	// Views are only valid until the next Next call, so retain copies.
+	var views []RIBView
 	for {
 		v, err := s.Next()
 		if err == io.EOF {
@@ -273,7 +274,7 @@ func TestTableDumpWriterScannerEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		views = append(views, v)
+		views = append(views, *v)
 	}
 	if len(views) != 3 {
 		t.Fatalf("views = %d, want 3", len(views))

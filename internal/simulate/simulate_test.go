@@ -339,11 +339,13 @@ func TestMRTRIBRoundTrip(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The scanner reuses the view's attribute storage between
+			// Next calls, so retain copies.
 			recovered = append(recovered, View{
 				VP:     v.Peer.ASN,
 				Prefix: v.Prefix,
 				Path:   v.Entry.Attrs.ASPath.Flatten(),
-				Comms:  v.Entry.Attrs.Communities,
+				Comms:  append(bgp.Communities(nil), v.Entry.Attrs.Communities...),
 			})
 		}
 	}
