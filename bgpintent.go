@@ -18,10 +18,12 @@
 //	cat := res.Category(bgpintent.Comm(1299, 2569)) // Action
 //
 // Real MRT archives (TABLE_DUMP_V2 RIBs and BGP4MP updates) load with
-// LoadMRTCorpus.
+// LoadMRT, which also accepts a context for cancellation and an
+// Observer for stage tracing and progress reporting.
 package bgpintent
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,6 +38,39 @@ import (
 	"bgpintent/internal/dict"
 	"bgpintent/internal/ingest"
 	"bgpintent/internal/mrt"
+	"bgpintent/internal/obs"
+)
+
+// Observability types, re-exported from the internal obs package so
+// callers outside this module can implement Observer and consume spans.
+type (
+	// Observer receives pipeline telemetry: stage starts, completed
+	// stage spans, and periodic progress heartbeats. Implementations
+	// must be safe for concurrent use — per-file spans arrive from
+	// ingestion workers running in parallel.
+	Observer = obs.Observer
+	// Stage names one pipeline stage in spans and progress events.
+	Stage = obs.Stage
+	// Span is one completed stage: wall time, throughput counters and —
+	// for sequential top-level stages — allocation deltas.
+	Span = obs.Span
+	// ProgressEvent is a periodic heartbeat with live counters.
+	ProgressEvent = obs.ProgressEvent
+)
+
+// Pipeline stages, in execution order. Open and Decode are per-file
+// spans emitted concurrently by ingestion workers; the rest are
+// sequential top-level stages.
+const (
+	StageOpen          = obs.StageOpen
+	StageDecode        = obs.StageDecode
+	StageStoreAdd      = obs.StageStoreAdd
+	StageShardMerge    = obs.StageShardMerge
+	StageObserve       = obs.StageObserve
+	StageCluster       = obs.StageCluster
+	StageRatio         = obs.StageRatio
+	StageClassify      = obs.StageClassify
+	StageSnapshotWrite = obs.StageSnapshotWrite
 )
 
 // Category is the inferred coarse-grained intent of a community.
@@ -104,10 +139,34 @@ type Params struct {
 	// worker per CPU (GOMAXPROCS), 1 forces sequential execution.
 	// Results are identical for every setting.
 	Parallelism int
+	// Observer, when non-nil, receives a span per classification stage
+	// (observe, cluster, ratio, classify). It does not change results:
+	// an observed run is byte-identical to an unobserved one.
+	Observer Observer
 }
 
 // DefaultParams returns the paper's parameters (gap 140, ratio 160:1).
 func DefaultParams() Params { return Params{MinGap: 140, RatioThreshold: 160} }
+
+// Validate rejects nonsensical classifier parameters. The zero value of
+// each field means "use the paper default" and is always valid; set
+// fields must make sense: MinGap cannot be negative, and a set
+// RatioThreshold must be at least 1 (the ratio compares on-path to
+// off-path evidence, so values in (0,1) would label clusters dominated
+// by off-path observations as information).
+func (p Params) Validate() error {
+	if p.MinGap < 0 {
+		return fmt.Errorf("bgpintent: MinGap %d is negative (0 disables clustering)", p.MinGap)
+	}
+	if p.RatioThreshold < 0 {
+		return fmt.Errorf("bgpintent: RatioThreshold %g is negative", p.RatioThreshold)
+	}
+	if p.RatioThreshold > 0 && p.RatioThreshold < 1 {
+		return fmt.Errorf("bgpintent: RatioThreshold %g is below 1 (use 0 for the paper default of %g)",
+			p.RatioThreshold, DefaultParams().RatioThreshold)
+	}
+	return nil
+}
 
 // CorpusOptions control synthetic corpus generation.
 type CorpusOptions struct {
@@ -170,6 +229,26 @@ type LoadOptions struct {
 	// per CPU (GOMAXPROCS), 1 forces the sequential load path. Any
 	// setting produces an identical corpus and identical LoadStats.
 	Parallelism int
+	// Observer, when non-nil, receives per-file open/decode spans, the
+	// store-add and shard-merge stage spans, and progress events. It
+	// does not change results: an observed load produces a corpus
+	// byte-identical to an unobserved one.
+	Observer Observer
+	// ProgressInterval is the heartbeat period for periodic
+	// ProgressEvents; 0 disables the ticker (a final event still fires
+	// when the load completes). Ignored without an Observer.
+	ProgressInterval time.Duration
+}
+
+// Sources names the inputs of one MRT corpus load.
+type Sources struct {
+	// RIBs are TABLE_DUMP_V2 RIB dump paths; Updates are BGP4MP updates
+	// paths. .gz and .bz2 archives are decompressed transparently.
+	RIBs    []string
+	Updates []string
+	// OrgPath optionally points at an as2org file ("asn|org" lines)
+	// mapping ASNs to organizations for sibling-aware on-path tests.
+	OrgPath string
 }
 
 // LoadStats summarizes what an MRT load salvaged and what it dropped.
@@ -216,55 +295,94 @@ func loadStats(ist *ingest.Stats) LoadStats {
 }
 
 // LoadMRTCorpus reads TABLE_DUMP_V2 RIB files and BGP4MP updates files
-// (the RouteViews/RIS archive formats; .gz and .bz2 are decompressed
-// transparently) plus an optional as2org file ("asn|org" lines), and
-// builds the tuple corpus. Loading is lenient with the default error
-// budget; use LoadMRTCorpusOptions for strict mode or load statistics.
+// plus an optional as2org file and builds the tuple corpus with the
+// default (lenient) options.
+//
+// Deprecated: use LoadMRT, which adds cancellation, observability, and
+// load statistics.
 func LoadMRTCorpus(ribPaths, updatePaths []string, orgPath string) (*Corpus, error) {
-	c, _, err := LoadMRTCorpusOptions(ribPaths, updatePaths, orgPath, LoadOptions{})
+	c, _, err := LoadMRT(context.Background(),
+		Sources{RIBs: ribPaths, Updates: updatePaths, OrgPath: orgPath}, LoadOptions{})
 	return c, err
 }
 
 // LoadMRTCorpusOptions is LoadMRTCorpus with explicit fault-tolerance
-// options, also returning ingestion statistics (valid even when the
-// load fails, covering the files processed so far).
+// options, also returning ingestion statistics.
+//
+// Deprecated: use LoadMRT, which takes the same options plus a context.
 func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts LoadOptions) (*Corpus, LoadStats, error) {
+	return LoadMRT(context.Background(),
+		Sources{RIBs: ribPaths, Updates: updatePaths, OrgPath: orgPath}, opts)
+}
+
+// LoadMRT reads the named TABLE_DUMP_V2 RIB and BGP4MP updates files
+// (the RouteViews/RIS archive formats; .gz and .bz2 are decompressed
+// transparently) plus an optional as2org file, and builds the tuple
+// corpus. Loading is lenient with the default error budget unless
+// opts says otherwise.
+//
+// Canceling ctx aborts the load between records with ctx.Err(); no
+// goroutine outlives the call. The returned LoadStats are valid even
+// when the load fails, covering the files processed so far.
+func LoadMRT(ctx context.Context, src Sources, opts LoadOptions) (*Corpus, LoadStats, error) {
+	tr := obs.NewTracer(opts.Observer, opts.ProgressInterval)
+	defer tr.Close()
+
 	c := &Corpus{orgs: asrel.NewOrgMap()}
-	iopts := ingest.Options{Strict: opts.Strict, MaxErrorRate: opts.MaxErrorRate}
+	iopts := ingest.Options{Strict: opts.Strict, MaxErrorRate: opts.MaxErrorRate, Tracer: tr}
 	ist := &ingest.Stats{}
 
-	files := make([]ingest.InputFile, 0, len(ribPaths)+len(updatePaths))
-	for _, path := range ribPaths {
+	files := make([]ingest.InputFile, 0, len(src.RIBs)+len(src.Updates))
+	for _, path := range src.RIBs {
 		files = append(files, ingest.InputFile{Path: path})
 	}
-	for _, path := range updatePaths {
+	for _, path := range src.Updates {
 		files = append(files, ingest.InputFile{Path: path, Updates: true})
 	}
+	tr.SetFiles(int64(len(files)))
+	tr.StartProgress()
 
 	// One decode worker per file, each feeding the sharded store; the
 	// deterministic merge makes the corpus independent of scheduling.
 	sts := core.NewShardedTupleStore(4 * core.ResolveWorkers(opts.Parallelism))
-	err := ingest.ScanParallel(files, iopts, opts.Parallelism, ist,
-		func(v *mrt.RIBView) error {
-			sts.AddViewASPath(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities)
-			sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
-			return nil
-		},
-		func(v *mrt.UpdateView) error {
-			if len(v.Update.NLRI) == 0 {
-				return nil // pure withdrawals carry no tuple
-			}
-			sts.AddViewASPath(v.PeerAS, v.Update.Attrs.ASPath, v.Update.Attrs.Communities)
-			sts.NoteLarge(v.Update.Attrs.LargeCommunities)
-			return nil
-		})
+	ribFn := func(v *mrt.RIBView) error {
+		sts.AddViewASPath(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities)
+		sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
+		return nil
+	}
+	updFn := func(v *mrt.UpdateView) error {
+		if len(v.Update.NLRI) == 0 {
+			return nil // pure withdrawals carry no tuple
+		}
+		sts.AddViewASPath(v.PeerAS, v.Update.Attrs.ASPath, v.Update.Attrs.Communities)
+		sts.NoteLarge(v.Update.Attrs.LargeCommunities)
+		return nil
+	}
+	if tr.Active() {
+		// Wrap the store feeds with per-tuple timing, accumulated into
+		// one aggregate store-add span (summed worker-seconds). Only
+		// when observed — the unobserved hot path stays untouched.
+		ribFn = timedStoreAdd(tr, ribFn)
+		updFn = timedStoreAdd(tr, updFn)
+	}
+	err := ingest.ScanParallelContext(ctx, files, iopts, opts.Parallelism, ist, ribFn, updFn)
+	tr.FlushAggregates()
 	if err != nil {
 		return nil, loadStats(ist), err
 	}
-	c.store = sts.Merge()
+	err = tr.Stage(ctx, obs.StageShardMerge, "", func(s *obs.Span) {
+		s.Tuples = int64(c.store.Len())
+		tr.AddTuples(int64(c.store.Len()))
+	}, func(ctx context.Context) error {
+		c.store = sts.Merge()
+		return nil
+	})
+	if err != nil {
+		return nil, loadStats(ist), err
+	}
 
-	if orgPath != "" {
-		f, err := os.Open(orgPath)
+	if src.OrgPath != "" {
+		f, err := os.Open(src.OrgPath)
 		if err != nil {
 			return nil, loadStats(ist), err
 		}
@@ -277,6 +395,18 @@ func LoadMRTCorpusOptions(ribPaths, updatePaths []string, orgPath string, opts L
 	}
 	c.store.AnnotateOrgs(c.orgs)
 	return c, loadStats(ist), nil
+}
+
+// timedStoreAdd wraps one ingest callback with store-add accounting:
+// per-call time accumulates into the aggregate store-add span emitted
+// once ingestion completes.
+func timedStoreAdd[V any](tr *obs.Tracer, fn func(V) error) func(V) error {
+	return func(v V) error {
+		start := time.Now()
+		err := fn(v)
+		tr.AddStageTime(obs.StageStoreAdd, time.Since(start), 1)
+		return err
+	}
 }
 
 // Tuples returns the number of unique (AS path, communities) tuples.
@@ -304,7 +434,26 @@ func (c *Corpus) Communities() []Community {
 func (c *Corpus) VantagePoints() []uint32 { return c.store.VPSet() }
 
 // Classify runs the paper's inference pipeline over the corpus.
+//
+// Deprecated: use ClassifyContext, which adds cancellation, parameter
+// validation and observability. Classify panics on parameters that
+// ClassifyContext would reject (no in-tree caller passes any).
 func (c *Corpus) Classify(p Params) *Result {
+	r, err := c.ClassifyContext(context.Background(), p)
+	if err != nil {
+		panic(err) // Background never cancels, so this is Validate
+	}
+	return r
+}
+
+// ClassifyContext runs the paper's inference pipeline over the corpus.
+// Invalid parameters are rejected up front (see Params.Validate);
+// canceling ctx aborts the run with ctx.Err() within a bounded number
+// of loop iterations per worker, and no goroutine outlives the call.
+func (c *Corpus) ClassifyContext(ctx context.Context, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	opts := core.DefaultOptions()
 	if p.MinGap > 0 || p.RatioThreshold > 0 {
 		opts.MinGap = p.MinGap
@@ -312,8 +461,12 @@ func (c *Corpus) Classify(p Params) *Result {
 	}
 	opts.Workers = p.Parallelism
 	opts.Orgs = c.orgs
-	inf := core.Classify(c.store, opts)
-	return &Result{inf: inf}
+	opts.Tracer = obs.NewTracer(p.Observer, 0)
+	inf, err := core.ClassifyContext(ctx, c.store, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{inf: inf}, nil
 }
 
 // ExcludeReason explains why a community was not classified.

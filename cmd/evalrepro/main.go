@@ -5,10 +5,17 @@
 //
 //	evalrepro [-exp all|headline|fig4|fig6|fig7|fig9|fig10|days|months|tab1|ablation|seeds|fine|faults]
 //	          [-scale tiny|default] [-seed N] [-days N] [-trials N] [-months N]
-//	          [-parallelism N] [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//	          [-parallelism N] [-progress] [-trace-json events.jsonl]
+//	          [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//
+// -progress prints a per-experiment timing line to stderr as each
+// experiment completes; -trace-json streams the same spans as JSON
+// lines ("-" for stderr). Each experiment is one span with stage
+// "experiment" and its id as the label.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +27,7 @@ import (
 
 	"bgpintent/internal/corpus"
 	"bgpintent/internal/eval"
+	"bgpintent/internal/obs"
 )
 
 func main() {
@@ -33,18 +41,47 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("evalrepro", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment id(s), comma separated, or 'all'")
-		scale   = fs.String("scale", "default", "corpus scale: tiny, default or large")
-		seed    = fs.Int64("seed", 1, "corpus seed")
-		days    = fs.Int("days", 7, "days of data for corpus experiments")
-		trials  = fs.Int("trials", 50, "trials for the vantage-point experiment")
-		months  = fs.Int("months", 12, "months for the longitudinal experiment")
-		par     = fs.Int("parallelism", 0, "classifier workers (0 = one per CPU, 1 = sequential)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		exp      = fs.String("exp", "all", "experiment id(s), comma separated, or 'all'")
+		scale    = fs.String("scale", "default", "corpus scale: tiny, default or large")
+		seed     = fs.Int64("seed", 1, "corpus seed")
+		days     = fs.Int("days", 7, "days of data for corpus experiments")
+		trials   = fs.Int("trials", 50, "trials for the vantage-point experiment")
+		months   = fs.Int("months", 12, "months for the longitudinal experiment")
+		par      = fs.Int("parallelism", 0, "classifier workers (0 = one per CPU, 1 = sequential)")
+		progress = fs.Bool("progress", false, "print per-experiment timings to stderr")
+		traceOut = fs.String("trace-json", "", "stream experiment spans as JSON lines to this file (\"-\" for stderr)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var sinks []obs.Observer
+	if *progress {
+		sinks = append(sinks, obs.NewProgressPrinter(os.Stderr))
+	}
+	if *traceOut != "" {
+		w := io.Writer(os.Stderr)
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		sinks = append(sinks, obs.NewJSONTracer(w))
+	}
+	var observer obs.Observer
+	if len(sinks) > 0 {
+		observer = obs.Multi(sinks...)
+	}
+	// step wraps one experiment in an "experiment" span labeled with its
+	// id, so -progress/-trace-json attribute wall time per experiment.
+	step := func(id string, f func() error) error {
+		return obs.Time(context.Background(), observer, obs.Stage("experiment"), id, nil,
+			func(context.Context) error { return f() })
 	}
 
 	if *cpuProf != "" {
@@ -116,9 +153,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	var c *corpus.Corpus
 	if needCorpus {
-		var err error
 		fmt.Fprintf(stdout, "building corpus (scale=%s seed=%d days=%d)...\n", *scale, *seed, *days)
-		c, err = corpus.Build(cfg)
+		err := step("corpus", func() error {
+			var err error
+			c, err = corpus.Build(cfg)
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -126,62 +166,59 @@ func run(args []string, stdout io.Writer) error {
 			c.Store.Len(), c.Store.PathCount(), len(c.Store.Communities()), len(c.Store.VPSet()))
 	}
 
-	if want("headline") {
-		fmt.Fprintln(stdout, eval.Headline(c).Render())
+	// Experiments over the shared corpus render synchronously.
+	renders := []struct {
+		id     string
+		render func() string
+	}{
+		{"headline", func() string { return eval.Headline(c).Render() }},
+		{"fig4", func() string { return eval.Fig4(c).Render() }},
+		{"fig6", func() string { return eval.Fig6(c).Render() }},
+		{"fig7", func() string { return eval.Fig7(c).Render() }},
+		{"fig9", func() string { return eval.Fig9(c, nil).Render() }},
+		{"fig10", func() string { return eval.Fig10(c, nil, *trials, *seed).Render() }},
+		{"tab1", func() string { return eval.Table1(c).Render() }},
+		{"ablation", func() string { return eval.Ablations(c).Render() }},
+		{"fine", func() string { return eval.FineGrained(c).Render() }},
 	}
-	if want("fig4") {
-		fmt.Fprintln(stdout, eval.Fig4(c).Render())
+	for _, r := range renders {
+		if !want(r.id) {
+			continue
+		}
+		if err := step(r.id, func() error { fmt.Fprintln(stdout, r.render()); return nil }); err != nil {
+			return err
+		}
 	}
-	if want("fig6") {
-		fmt.Fprintln(stdout, eval.Fig6(c).Render())
+
+	// Sweeps build their own corpora.
+	sweeps := []struct {
+		id  string
+		run func() (interface{ Render() string }, error)
+	}{
+		{"days", func() (interface{ Render() string }, error) { return eval.DaysSweep(cfg, *days) }},
+		{"months", func() (interface{ Render() string }, error) { return eval.MonthsSweep(cfg, *months) }},
+		{"faults", func() (interface{ Render() string }, error) { return eval.FaultTolerance(cfg, nil) }},
+		{"seeds", func() (interface{ Render() string }, error) {
+			scfg := cfg
+			scfg.Days = 1
+			return eval.SeedSweep(scfg, nil)
+		}},
 	}
-	if want("fig7") {
-		fmt.Fprintln(stdout, eval.Fig7(c).Render())
-	}
-	if want("fig9") {
-		fmt.Fprintln(stdout, eval.Fig9(c, nil).Render())
-	}
-	if want("fig10") {
-		fmt.Fprintln(stdout, eval.Fig10(c, nil, *trials, *seed).Render())
-	}
-	if want("tab1") {
-		fmt.Fprintln(stdout, eval.Table1(c).Render())
-	}
-	if want("ablation") {
-		fmt.Fprintln(stdout, eval.Ablations(c).Render())
-	}
-	if want("fine") {
-		fmt.Fprintln(stdout, eval.FineGrained(c).Render())
-	}
-	if want("days") {
-		r, err := eval.DaysSweep(cfg, *days)
+	for _, s := range sweeps {
+		if !want(s.id) {
+			continue
+		}
+		err := step(s.id, func() error {
+			r, err := s.run()
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout, r.Render())
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintln(stdout, r.Render())
-	}
-	if want("months") {
-		r, err := eval.MonthsSweep(cfg, *months)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, r.Render())
-	}
-	if want("faults") {
-		r, err := eval.FaultTolerance(cfg, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, r.Render())
-	}
-	if want("seeds") {
-		scfg := cfg
-		scfg.Days = 1
-		r, err := eval.SeedSweep(scfg, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, r.Render())
 	}
 	return nil
 }

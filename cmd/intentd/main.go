@@ -11,7 +11,8 @@
 //	POST /v1/annotate                 batch: communities or (path, communities) tuples
 //	GET  /v1/as/{asn}                 all inferred clusters of one α
 //	GET  /v1/stats                    corpus + inference counters
-//	GET  /v1/metrics                  per-endpoint request/latency/error counters
+//	GET  /v1/metrics                  the operational counters as JSON
+//	GET  /metrics                     the same counters in Prometheus text format
 //	POST /v1/admin/reload             rebuild + atomically swap the snapshot
 //	GET  /healthz                     liveness
 //
@@ -99,6 +100,9 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.snapshot != "" && (cfg.ribGlob != "" || cfg.updGlob != "") {
 		return nil, fmt.Errorf("-snapshot and -rib/-updates are mutually exclusive")
 	}
+	if err := (bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio}).Validate(); err != nil {
+		return nil, err
+	}
 	return cfg, nil
 }
 
@@ -120,7 +124,7 @@ func builder(cfg *config) serve.Builder {
 			return res, info, "snapshot:" + filepath.Base(cfg.snapshot), nil
 		}
 	}
-	return func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+	return func(ctx context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
 		ribs, err := expand(cfg.ribGlob)
 		if err != nil {
 			return nil, bgpintent.SnapshotInfo{}, "", err
@@ -132,13 +136,20 @@ func builder(cfg *config) serve.Builder {
 		if len(ribs)+len(updates) == 0 {
 			return nil, bgpintent.SnapshotInfo{}, "", fmt.Errorf("globs matched no files")
 		}
-		c, stats, err := bgpintent.LoadMRTCorpusOptions(ribs, updates, cfg.as2org,
+		// The builder honors its context: a daemon shutting down mid-
+		// reload abandons the build instead of finishing it into the void.
+		c, stats, err := bgpintent.LoadMRT(ctx,
+			bgpintent.Sources{RIBs: ribs, Updates: updates, OrgPath: cfg.as2org},
 			bgpintent.LoadOptions{Strict: cfg.strict, MaxErrorRate: cfg.maxErr, Parallelism: cfg.par})
 		if err != nil {
 			return nil, bgpintent.SnapshotInfo{}, "", err
 		}
 		log.Printf("ingest: %s", stats.Summary())
-		res := c.Classify(bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio, Parallelism: cfg.par})
+		res, err := c.ClassifyContext(ctx,
+			bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio, Parallelism: cfg.par})
+		if err != nil {
+			return nil, bgpintent.SnapshotInfo{}, "", err
+		}
 		source := fmt.Sprintf("mrt:%d files", len(ribs)+len(updates))
 		return res, c.SnapshotInfo(source), source, nil
 	}

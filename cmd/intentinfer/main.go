@@ -12,34 +12,52 @@
 //	intentinfer -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	            -as2org corpus/as2org.txt [-gap 140] [-ratio 160] [-o out.tsv]
 //	            [-format tsv|json|snapshot] [-strict] [-max-error-rate 0.05]
-//	            [-parallelism N] [-cpuprofile cpu.pb] [-memprofile mem.pb]
+//	            [-parallelism N] [-progress] [-trace-json events.jsonl]
+//	            [-cpuprofile cpu.pb] [-memprofile mem.pb]
 //
 // -format snapshot writes the binary artifact intentd -snapshot
 // cold-starts from, skipping MRT re-ingestion entirely.
+//
+// -progress prints per-stage completions, periodic heartbeats, and an
+// end-of-run per-stage summary to stderr; -trace-json streams the same
+// telemetry as JSON lines to a file ("-" for stderr). Both observe the
+// run without changing its output. SIGINT/SIGTERM cancel the pipeline
+// cleanly between records.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"bgpintent"
+	"bgpintent/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("intentinfer: ")
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		log.Fatal(err)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("intentinfer", flag.ContinueOnError)
 	var (
 		ribGlob = fs.String("rib", "", "glob of TABLE_DUMP_V2 RIB files")
@@ -52,9 +70,11 @@ func run(args []string, stdout io.Writer) error {
 		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
 		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
 			"abort when a file's corruption rate exceeds this fraction (negative disables)")
-		par     = fs.Int("parallelism", 0, "ingest/classifier workers (0 = one per CPU, 1 = sequential)")
-		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		par      = fs.Int("parallelism", 0, "ingest/classifier workers (0 = one per CPU, 1 = sequential)")
+		progress = fs.Bool("progress", false, "print stage timings, heartbeats and a per-stage summary to stderr")
+		traceOut = fs.String("trace-json", "", "stream telemetry as JSON lines to this file (\"-\" for stderr)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +83,10 @@ func run(args []string, stdout io.Writer) error {
 	case "tsv", "json", "snapshot":
 	default:
 		return fmt.Errorf("unknown -format %q (want tsv, json or snapshot)", *format)
+	}
+	// Reject bad -gap/-ratio before the (potentially long) load.
+	if err := (bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio}).Validate(); err != nil {
+		return err
 	}
 
 	if *cpuProf != "" {
@@ -103,8 +127,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no input files; use -rib and/or -updates")
 	}
 
-	c, stats, err := bgpintent.LoadMRTCorpusOptions(ribs, updates, *as2org,
-		bgpintent.LoadOptions{Strict: *strict, MaxErrorRate: *maxErr, Parallelism: *par})
+	observer, collector, closeTrace, err := buildObserver(*progress, *traceOut)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+
+	c, stats, err := bgpintent.LoadMRT(ctx,
+		bgpintent.Sources{RIBs: ribs, Updates: updates, OrgPath: *as2org},
+		bgpintent.LoadOptions{
+			Strict: *strict, MaxErrorRate: *maxErr, Parallelism: *par,
+			Observer: observer, ProgressInterval: progressInterval,
+		})
 	if err != nil {
 		return err
 	}
@@ -114,7 +148,14 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large, not classified)\n",
 		len(c.Communities()), c.LargeCommunities())
 
-	res := c.Classify(bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio, Parallelism: *par})
+	params := bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio, Parallelism: *par, Observer: observer}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	res, err := c.ClassifyContext(ctx, params)
+	if err != nil {
+		return err
+	}
 	action, info := res.Counts()
 	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
 
@@ -129,12 +170,52 @@ func run(args []string, stdout io.Writer) error {
 			info := c.SnapshotInfo(sourceLabel(*ribGlob, *updGlob))
 			fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
 		}
-		if err := writeAtomic(*outPath, fill); err != nil {
+		err := obs.Time(ctx, observer, obs.StageSnapshotWrite, *outPath, nil, func(context.Context) error {
+			return writeAtomic(*outPath, fill)
+		})
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "wrote %s inferences to %s\n", *format, *outPath)
 	}
+	if collector != nil {
+		fmt.Fprint(os.Stderr, collector.RenderSummary())
+	}
 	return nil
+}
+
+// progressInterval is the -progress/-trace-json heartbeat period.
+const progressInterval = time.Second
+
+// buildObserver assembles the telemetry sinks for -progress and
+// -trace-json. The returned Observer is nil when both are off; the
+// Collector (non-nil only with -progress) accumulates the end-of-run
+// per-stage summary; closeTrace flushes and closes the trace file.
+func buildObserver(progress bool, traceOut string) (bgpintent.Observer, *obs.Collector, func(), error) {
+	var sinks []bgpintent.Observer
+	var collector *obs.Collector
+	closeTrace := func() {}
+	if progress {
+		sinks = append(sinks, obs.NewProgressPrinter(os.Stderr))
+		collector = &obs.Collector{}
+		sinks = append(sinks, collector)
+	}
+	if traceOut != "" {
+		w := io.Writer(os.Stderr)
+		if traceOut != "-" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			w = f
+			closeTrace = func() { f.Close() }
+		}
+		sinks = append(sinks, obs.NewJSONTracer(w))
+	}
+	if len(sinks) == 0 {
+		return nil, nil, closeTrace, nil
+	}
+	return obs.Multi(sinks...), collector, closeTrace, nil
 }
 
 // sourceLabel records the input globs as snapshot provenance.

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -47,7 +48,7 @@ func TestRunEndToEnd(t *testing.T) {
 	writeTestCorpus(t, dir)
 	outTSV := filepath.Join(dir, "out.tsv")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-rib", filepath.Join(dir, "*.rib.mrt"),
 		"-as2org", filepath.Join(dir, "as2org.txt"),
 		"-o", outTSV,
@@ -72,7 +73,7 @@ func TestRunEndToEnd(t *testing.T) {
 }
 
 func TestRunNoInputs(t *testing.T) {
-	if err := run(nil, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), nil, &bytes.Buffer{}); err == nil {
 		t.Error("no inputs accepted")
 	}
 }
@@ -100,7 +101,7 @@ func TestRunLenientVsStrict(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run(args, &out); err != nil {
+	if err := run(context.Background(), args, &out); err != nil {
 		t.Fatalf("lenient run over a truncated file failed: %v", err)
 	}
 	s := out.String()
@@ -111,7 +112,7 @@ func TestRunLenientVsStrict(t *testing.T) {
 		t.Errorf("lenient run did not classify: %q", s)
 	}
 
-	err := run(append([]string{"-strict"}, args...), &bytes.Buffer{})
+	err := run(context.Background(), append([]string{"-strict"}, args...), &bytes.Buffer{})
 	if err == nil {
 		t.Fatal("-strict accepted a truncated file")
 	}
@@ -133,13 +134,13 @@ func TestRunMaxErrorRate(t *testing.T) {
 		"-as2org", filepath.Join(dir, "as2org.txt"),
 	}
 
-	err := run(args, &bytes.Buffer{})
+	err := run(context.Background(), args, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "error budget") {
 		t.Fatalf("default budget let a garbage file through: %v", err)
 	}
 
 	var out bytes.Buffer
-	if err := run(append([]string{"-max-error-rate", "-1"}, args...), &out); err != nil {
+	if err := run(context.Background(), append([]string{"-max-error-rate", "-1"}, args...), &out); err != nil {
 		t.Fatalf("disabled budget still failed: %v", err)
 	}
 	if !strings.Contains(out.String(), "classified") {
@@ -151,7 +152,7 @@ func TestWriteTSVAtomicLeavesNoTemp(t *testing.T) {
 	dir := t.TempDir()
 	writeTestCorpus(t, dir)
 	outTSV := filepath.Join(dir, "out.tsv")
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-rib", filepath.Join(dir, "*.rib.mrt"),
 		"-as2org", filepath.Join(dir, "as2org.txt"),
 		"-o", outTSV,
@@ -195,7 +196,7 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 
 	outTSV := filepath.Join(dir, "out.tsv")
-	if err := run(args("tsv", outTSV), &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), args("tsv", outTSV), &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	wantTSV, err := os.ReadFile(outTSV)
@@ -204,7 +205,7 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 
 	outSnap := filepath.Join(dir, "out.snap")
-	if err := run(args("snapshot", outSnap), &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), args("snapshot", outSnap), &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(outSnap)
@@ -229,7 +230,7 @@ func TestFormatRoundTrip(t *testing.T) {
 	}
 
 	outJSON := filepath.Join(dir, "out.json")
-	if err := run(args("json", outJSON), &bytes.Buffer{}); err != nil {
+	if err := run(context.Background(), args("json", outJSON), &bytes.Buffer{}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(outJSON)
@@ -259,8 +260,104 @@ func TestFormatRoundTrip(t *testing.T) {
 		t.Error("json carries no clusters")
 	}
 
-	if err := run(args("yaml", filepath.Join(dir, "x")), &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), args("yaml", filepath.Join(dir, "x")), &bytes.Buffer{}); err == nil {
 		t.Error("unknown format accepted")
+	}
+}
+
+// TestTraceJSONStream runs the pipeline with -progress and -trace-json
+// and checks three contracts: every trace line is a well-formed JSON
+// event, every pipeline stage reports a stage_end, the stream ends with
+// a final progress event — and the observed run's TSV is byte-identical
+// to an unobserved one.
+func TestTraceJSONStream(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	args := func(extra ...string) []string {
+		return append([]string{
+			"-rib", filepath.Join(dir, "*.rib.mrt"),
+			"-as2org", filepath.Join(dir, "as2org.txt"),
+		}, extra...)
+	}
+
+	plainTSV := filepath.Join(dir, "plain.tsv")
+	if err := run(context.Background(), args("-o", plainTSV), &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+
+	trace := filepath.Join(dir, "trace.jsonl")
+	obsTSV := filepath.Join(dir, "observed.tsv")
+	var out bytes.Buffer
+	err := run(context.Background(), args("-progress", "-trace-json", trace, "-o", obsTSV), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := os.ReadFile(plainTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(obsTSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("observed run produced a different TSV than an unobserved one")
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty trace stream")
+	}
+	ended := make(map[string]bool)
+	var sawFinal bool
+	for i, line := range lines {
+		var ev struct {
+			Event string `json:"event"`
+			Stage string `json:"stage"`
+			Final bool   `json:"final"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %q: %v", i+1, line, err)
+		}
+		switch ev.Event {
+		case "stage_start", "stage_end", "progress":
+		default:
+			t.Errorf("trace line %d has unknown event %q", i+1, ev.Event)
+		}
+		if ev.Event == "stage_end" {
+			ended[ev.Stage] = true
+		}
+		if ev.Event == "progress" && ev.Final {
+			sawFinal = true
+		}
+	}
+	for _, stage := range []string{
+		"open", "decode", "store-add", "shard-merge",
+		"observe", "cluster", "ratio", "classify", "snapshot-write",
+	} {
+		if !ended[stage] {
+			t.Errorf("trace has no stage_end for %q", stage)
+		}
+	}
+	if !sawFinal {
+		t.Error("trace has no final progress event")
+	}
+}
+
+func TestValidateRejectsBadRatio(t *testing.T) {
+	dir := t.TempDir()
+	writeTestCorpus(t, dir)
+	err := run(context.Background(), []string{
+		"-rib", filepath.Join(dir, "*.rib.mrt"),
+		"-ratio", "0.5",
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "RatioThreshold") {
+		t.Errorf("ratio 0.5 accepted: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,7 +29,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	result := corpus.Classify(bgpintent.DefaultParams())
+	result, err := corpus.ClassifyContext(context.Background(), bgpintent.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Learn tagging behavior from the baseline: for each AS, the share
 	// of baseline routes through it that carry at least one of its

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"regexp"
@@ -58,7 +59,10 @@ func main() {
 		return false
 	}
 
-	result := corpus.Classify(bgpintent.DefaultParams())
+	result, err := corpus.ClassifyContext(context.Background(), bgpintent.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var docCount, inferredOnly, neither int
 	byCat := map[bgpintent.Category]int{}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,10 @@ func main() {
 
 	// Step 2: classify intent and drop location inferences that are
 	// really action communities.
-	result := corpus.Classify(bgpintent.DefaultParams())
+	result, err := corpus.ClassifyContext(context.Background(), bgpintent.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
 	kept, dropped := result.FilterActions(locs)
 	fmt.Printf("intent filter kept %d, dropped %d action communities\n\n", len(kept), len(dropped))
 

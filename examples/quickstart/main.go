@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,10 @@ func main() {
 	// Classify with the paper's parameters: cluster each AS's community
 	// values with a minimum gap of 140, then label clusters by their
 	// on-path:off-path ratio (threshold 160:1).
-	result := corpus.Classify(bgpintent.DefaultParams())
+	result, err := corpus.ClassifyContext(context.Background(), bgpintent.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
 	action, information := result.Counts()
 	fmt.Printf("classified %d communities: %d action, %d information\n\n",
 		action+information, action, information)

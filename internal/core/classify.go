@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"bgpintent/internal/bgp"
 	"bgpintent/internal/dict"
+	"bgpintent/internal/obs"
 )
 
 // Options configure the classifier. The defaults are the paper's
@@ -39,6 +41,11 @@ type Options struct {
 	// per CPU (GOMAXPROCS), 1 forces sequential execution. Results are
 	// identical for every worker count.
 	Workers int
+
+	// Tracer receives per-stage spans (observe, cluster, ratio,
+	// classify) and carries the pprof stage labels; nil disables
+	// telemetry but keeps the labels.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -239,13 +246,20 @@ type commIndex struct {
 	paths []int32
 }
 
+// cancelCheckStride is how many loop iterations the classifier's inner
+// loops run between cancellation probes: frequent enough that an abort
+// is noticed within microseconds, rare enough to cost nothing.
+const cancelCheckStride = 4096
+
 // buildCommIndex scans the tuples (honoring the VP filter) and returns
 // the CSR community→path index plus a bitset of the path IDs observed.
 // Each worker emits (community, pathID) pairs encoded as uint64 into a
 // private flat buffer and sorts it; the sorted runs are merged (with
 // deduplication) into one run that becomes the CSR rows. No maps, no
 // per-community slices — allocation is O(workers + rows), not O(pairs).
-func buildCommIndex(ts *TupleStore, opts Options, workers int) (commIndex, bitset) {
+// When done closes mid-build, workers stop early and the (partial)
+// result must be discarded by the caller.
+func buildCommIndex(ts *TupleStore, opts Options, workers int, done <-chan struct{}) (commIndex, bitset) {
 	tuples := ts.Tuples()
 	pathSeen := newBitset(ts.PathCount())
 	pairParts := make([][]uint64, workers)
@@ -254,6 +268,9 @@ func buildCommIndex(ts *TupleStore, opts Options, workers int) (commIndex, bitse
 		pairs := make([]uint64, 0, 2*(hi-lo))
 		seen := newBitset(ts.PathCount())
 		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelCheckStride == 0 && chClosed(done) {
+				break
+			}
 			t := &tuples[i]
 			if opts.VPFilter != nil && !anyVP(ts.TupleVPs(t), opts.VPFilter) {
 				continue
@@ -350,11 +367,40 @@ func (b bitset) union(o bitset) {
 // path counting — are partitioned across a worker pool; results are
 // identical to the sequential computation for every worker count.
 func Observe(ts *TupleStore, opts Options) *ObservationSet {
+	os, _ := ObserveContext(context.Background(), ts, opts)
+	return os
+}
+
+// ObserveContext is Observe with cancellation and stage telemetry: the
+// whole computation runs under a StageObserve span/pprof label, and a
+// canceled ctx aborts between work chunks (bounded latency, no
+// goroutine leaks — every worker is joined before return). On
+// cancellation the returned set is nil and the error is ctx.Err().
+func ObserveContext(ctx context.Context, ts *TupleStore, opts Options) (*ObservationSet, error) {
+	var os *ObservationSet
+	err := opts.Tracer.Stage(ctx, obs.StageObserve, "", func(s *obs.Span) {
+		s.Tuples = int64(len(ts.Tuples()))
+		if os != nil {
+			s.Records = int64(len(os.Stats))
+		}
+	}, func(ctx context.Context) error {
+		var err error
+		os, err = observe(ctx, ts, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return os, nil
+}
+
+func observe(ctx context.Context, ts *TupleStore, opts Options) (*ObservationSet, error) {
 	os := &ObservationSet{
 		asnOnPath: make(map[uint32]bool),
 		orgOnPath: make(map[string]bool),
 		orgs:      opts.Orgs,
 	}
+	done := ctx.Done()
 
 	workers := ResolveWorkers(opts.Workers)
 	if len(ts.Tuples()) < minParallelTuples {
@@ -364,8 +410,14 @@ func Observe(ts *TupleStore, opts Options) *ObservationSet {
 	// Pass 1: build the CSR community→path index and the observed-path
 	// bitset, then derive the on-path ASN/org sets from the distinct
 	// observed paths (each path visited exactly once).
-	idx, pathSeen := buildCommIndex(ts, opts, workers)
+	idx, pathSeen := buildCommIndex(ts, opts, workers, done)
+	if chClosed(done) {
+		return nil, ctx.Err()
+	}
 	for pid := 0; pid < ts.PathCount(); pid++ {
+		if pid%cancelCheckStride == 0 && chClosed(done) {
+			return nil, ctx.Err()
+		}
 		if !pathSeen.get(uint32(pid)) {
 			continue
 		}
@@ -385,6 +437,9 @@ func Observe(ts *TupleStore, opts Options) *ObservationSet {
 	statsArr := make([]CommunityStats, len(idx.comms))
 	parallelRanges(workers, len(idx.comms), func(w, lo, hi int) {
 		for r := lo; r < hi; r++ {
+			if (r-lo)%cancelCheckStride == 0 && chClosed(done) {
+				return
+			}
 			c := idx.comms[r]
 			alpha := uint32(c.ASN())
 			var alphaOrg string
@@ -408,18 +463,34 @@ func Observe(ts *TupleStore, opts Options) *ObservationSet {
 			statsArr[r] = st
 		}
 	})
+	if chClosed(done) {
+		return nil, ctx.Err()
+	}
 	os.Stats = make(map[bgp.Community]*CommunityStats, len(idx.comms))
 	for r := range idx.comms {
 		os.Stats[idx.comms[r]] = &statsArr[r]
 	}
-	return os
+	return os, nil
 }
 
 // Classify runs the full §5.2 pipeline: observe, exclude, cluster per
 // AS, label clusters by on-path:off-path ratio, and apply the labels to
 // communities.
 func Classify(ts *TupleStore, opts Options) *Inferences {
-	return ClassifyObserved(Observe(ts, opts), opts)
+	inf, _ := ClassifyContext(context.Background(), ts, opts)
+	return inf
+}
+
+// ClassifyContext is Classify with cancellation and stage telemetry:
+// the observe/cluster/ratio/classify stages each run under their span
+// and pprof label, and a canceled ctx aborts promptly with ctx.Err()
+// (nil Inferences), with every worker goroutine joined before return.
+func ClassifyContext(ctx context.Context, ts *TupleStore, opts Options) (*Inferences, error) {
+	os, err := ObserveContext(ctx, ts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ClassifyObservedContext(ctx, os, opts)
 }
 
 // ClassifyObserved runs the pipeline on precomputed observations, so
@@ -427,84 +498,145 @@ func Classify(ts *TupleStore, opts Options) *Inferences {
 // The opts must use the same VPFilter and Orgs the observations were
 // built with.
 func ClassifyObserved(os *ObservationSet, opts Options) *Inferences {
+	inf, _ := ClassifyObservedContext(context.Background(), os, opts)
+	return inf
+}
+
+// ClassifyObservedContext is ClassifyObserved with cancellation and
+// per-stage telemetry. The three stages match the paper's structure:
+// cluster (group each α's βs by the gap rule, applying exclusions),
+// ratio (purity/ratio evidence labels each cluster), classify (apply
+// labels to members and build the lookup index). Output is identical to
+// ClassifyObserved for every worker count.
+func ClassifyObservedContext(ctx context.Context, os *ObservationSet, opts Options) (*Inferences, error) {
 	inf := &Inferences{
 		Labels:   make(map[bgp.Community]dict.Category),
 		Excluded: make(map[bgp.Community]ExcludeReason),
 		Opts:     opts,
 	}
+	done := ctx.Done()
+	tr := opts.Tracer
 
-	// Group observed β values by α.
-	byAlpha := make(map[uint16][]uint16)
-	for c := range os.Stats {
-		byAlpha[c.ASN()] = append(byAlpha[c.ASN()], c.Value())
-	}
-	alphas := make([]uint16, 0, len(byAlpha))
-	for a := range byAlpha {
-		alphas = append(alphas, a)
-	}
-	slices.Sort(alphas)
+	workers := ResolveWorkers(opts.Workers)
 
-	// Each α clusters and labels independently. Workers take contiguous
-	// ranges of the sorted α list and emit clusters/exclusions in α
-	// order within their range; concatenating the per-worker parts in
-	// worker order reproduces the sequential output exactly.
+	// Stage: cluster. Group observed β values by α; each α clusters
+	// independently. Workers take contiguous ranges of the sorted α list
+	// and emit unlabeled clusters/exclusions in α order within their
+	// range; concatenating the per-worker parts in worker order
+	// reproduces the sequential output exactly.
 	type alphaPart struct {
 		clusters []Cluster
 		excluded []excludedComm
 	}
-	workers := ResolveWorkers(opts.Workers)
-	if len(alphas) < minParallelAlphas {
-		workers = 1
-	}
-	parts := make([]alphaPart, workers)
-	parallelRanges(workers, len(alphas), func(w, lo, hi int) {
-		var p alphaPart
-		for _, alpha := range alphas[lo:hi] {
-			betas := byAlpha[alpha]
-			slices.Sort(betas)
+	var parts []alphaPart
+	err := tr.Stage(ctx, obs.StageCluster, "", func(s *obs.Span) {
+		s.Records = int64(len(os.Stats))
+	}, func(ctx context.Context) error {
+		byAlpha := make(map[uint16][]uint16)
+		for c := range os.Stats {
+			byAlpha[c.ASN()] = append(byAlpha[c.ASN()], c.Value())
+		}
+		alphas := make([]uint16, 0, len(byAlpha))
+		for a := range byAlpha {
+			alphas = append(alphas, a)
+		}
+		slices.Sort(alphas)
 
-			if !opts.DisableExclusions {
-				var reason ExcludeReason
-				switch {
-				case bgp.NewCommunity(alpha, 0).IsPrivateASN():
-					reason = ExcludePrivateASN
-				case !os.AlphaOnPath(uint32(alpha)):
-					reason = ExcludeNeverOnPath
+		w := workers
+		if len(alphas) < minParallelAlphas {
+			w = 1
+		}
+		parts = make([]alphaPart, w)
+		parallelRanges(w, len(alphas), func(w, lo, hi int) {
+			var p alphaPart
+			for n, alpha := range alphas[lo:hi] {
+				if n%cancelCheckStride == 0 && chClosed(done) {
+					return
 				}
-				if reason != 0 {
-					for _, b := range betas {
-						c := bgp.NewCommunity(alpha, b)
-						p.excluded = append(p.excluded, excludedComm{c, reason, *os.Stats[c]})
+				betas := byAlpha[alpha]
+				slices.Sort(betas)
+
+				if !opts.DisableExclusions {
+					var reason ExcludeReason
+					switch {
+					case bgp.NewCommunity(alpha, 0).IsPrivateASN():
+						reason = ExcludePrivateASN
+					case !os.AlphaOnPath(uint32(alpha)):
+						reason = ExcludeNeverOnPath
 					}
-					continue
+					if reason != 0 {
+						for _, b := range betas {
+							c := bgp.NewCommunity(alpha, b)
+							p.excluded = append(p.excluded, excludedComm{c, reason, *os.Stats[c]})
+						}
+						continue
+					}
 				}
-			}
 
-			for _, idx := range clusterIndexes(betas, opts.MinGap) {
-				members := make([]CommunityStats, 0, idx[1]-idx[0])
-				for _, b := range betas[idx[0]:idx[1]] {
-					members = append(members, *os.Stats[bgp.NewCommunity(alpha, b)])
+				for _, idx := range clusterIndexes(betas, opts.MinGap) {
+					members := make([]CommunityStats, 0, idx[1]-idx[0])
+					for _, b := range betas[idx[0]:idx[1]] {
+						members = append(members, *os.Stats[bgp.NewCommunity(alpha, b)])
+					}
+					p.clusters = append(p.clusters, Cluster{
+						Alpha:   alpha,
+						Lo:      members[0].Comm.Value(),
+						Hi:      members[len(members)-1].Comm.Value(),
+						Members: members,
+					})
 				}
-				p.clusters = append(p.clusters, labelCluster(alpha, members, opts))
 			}
-		}
-		parts[w] = p
+			parts[w] = p
+		})
+		return ctx.Err()
 	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage: ratio. Label every cluster from its members' evidence —
+	// a pure per-cluster function, so clusters are labeled in place on
+	// the worker pool with no ordering concerns.
 	excludedStats := make(map[bgp.Community]CommunityStats)
-	for _, p := range parts {
-		for _, e := range p.excluded {
-			inf.Excluded[e.comm] = e.reason
-			excludedStats[e.comm] = e.stats
+	err = tr.Stage(ctx, obs.StageRatio, "", func(s *obs.Span) {
+		s.Records = int64(len(inf.Clusters))
+	}, func(ctx context.Context) error {
+		for _, p := range parts {
+			for _, e := range p.excluded {
+				inf.Excluded[e.comm] = e.reason
+				excludedStats[e.comm] = e.stats
+			}
+			inf.Clusters = append(inf.Clusters, p.clusters...)
 		}
-		for _, cl := range p.clusters {
-			inf.Clusters = append(inf.Clusters, cl)
+		return ParallelForContext(ctx, workers, len(inf.Clusters), func(i int) {
+			labelCluster(&inf.Clusters[i], opts)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage: classify. Apply cluster labels to member communities and
+	// build the lookup index.
+	err = tr.Stage(ctx, obs.StageClassify, "", func(s *obs.Span) {
+		s.Records = int64(len(inf.Labels))
+	}, func(ctx context.Context) error {
+		for i := range inf.Clusters {
+			if i%cancelCheckStride == 0 && chClosed(done) {
+				return ctx.Err()
+			}
+			cl := &inf.Clusters[i]
 			for _, m := range cl.Members {
 				inf.Labels[m.Comm] = cl.Label
 			}
 		}
+		inf.buildIndex(excludedStats)
+		return ctx.Err()
+	})
+	if err != nil {
+		return nil, err
 	}
-	inf.buildIndex(excludedStats)
-	return inf
+	return inf, nil
 }
 
 // minParallelAlphas is the α count below which ClassifyObserved stays
@@ -533,20 +665,14 @@ func clusterIndexes(betas []uint16, minGap int) [][2]int {
 	return out
 }
 
-// labelCluster applies the §5.2 decision rule: never off-path or ratio
-// at/above threshold -> information; always off-path or ratio below ->
-// action. The mixed-cluster ratio is the mean of the member ratios (or
-// the pooled ratio under the ablation option).
-func labelCluster(alpha uint16, members []CommunityStats, opts Options) Cluster {
-	cl := Cluster{
-		Alpha:   alpha,
-		Lo:      members[0].Comm.Value(),
-		Hi:      members[len(members)-1].Comm.Value(),
-		Members: members,
-	}
+// labelCluster applies the §5.2 decision rule in place: never off-path
+// or ratio at/above threshold -> information; always off-path or ratio
+// below -> action. The mixed-cluster ratio is the mean of the member
+// ratios (or the pooled ratio under the ablation option).
+func labelCluster(cl *Cluster, opts Options) {
 	onTotal, offTotal := 0, 0
 	ratioSum := 0.0
-	for _, m := range members {
+	for _, m := range cl.Members {
 		onTotal += m.OnPath
 		offTotal += m.OffPath
 		ratioSum += m.Ratio()
@@ -560,7 +686,7 @@ func labelCluster(alpha uint16, members []CommunityStats, opts Options) Cluster 
 		}
 		cl.Ratio = float64(onTotal) / float64(off)
 	} else {
-		cl.Ratio = ratioSum / float64(len(members))
+		cl.Ratio = ratioSum / float64(len(cl.Members))
 	}
 	switch {
 	case cl.PureOnPath:
@@ -572,7 +698,6 @@ func labelCluster(alpha uint16, members []CommunityStats, opts Options) Cluster 
 	default:
 		cl.Label = dict.CatAction
 	}
-	return cl
 }
 
 func anyVP(vps []uint32, filter map[uint32]bool) bool {

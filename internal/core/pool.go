@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,15 +24,28 @@ func ResolveWorkers(n int) int {
 // in order). workers <= 0 means GOMAXPROCS; with one worker (or n <= 1)
 // fn runs inline on the calling goroutine.
 func ParallelFor(workers, n int, fn func(i int)) {
+	ParallelForContext(context.Background(), workers, n, fn) //nolint:errcheck // Background never cancels
+}
+
+// ParallelForContext is ParallelFor with cancellation: every worker
+// checks ctx before claiming the next index, so an abort is noticed
+// within one fn call per worker — bounded latency, and wg.Wait
+// guarantees no goroutine outlives the call. Returns ctx.Err() when the
+// context was canceled (some indexes may not have run), nil otherwise.
+func ParallelForContext(ctx context.Context, workers, n int, fn func(i int)) error {
 	workers = ResolveWorkers(workers)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if chClosed(done) {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -39,7 +53,7 @@ func ParallelFor(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !chClosed(done) {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -49,6 +63,21 @@ func ParallelFor(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
+}
+
+// chClosed is a non-blocking closed-channel probe; a nil channel (no
+// cancellation wired) reads as open.
+func chClosed(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // parallelRanges splits [0, n) into one contiguous range per worker and

@@ -11,12 +11,15 @@ import (
 	"bufio"
 	"compress/bzip2"
 	"compress/gzip"
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"bgpintent/internal/mrt"
+	"bgpintent/internal/obs"
 )
 
 // DefaultMaxErrorRate is the default error budget: the fraction of
@@ -37,6 +40,9 @@ type Options struct {
 	// MaxErrorRate is the lenient-mode error budget: 0 means
 	// DefaultMaxErrorRate, negative disables the budget entirely.
 	MaxErrorRate float64
+	// Tracer receives per-file open/decode spans and live
+	// record/byte/file counters; nil disables ingestion telemetry.
+	Tracer *obs.Tracer
 }
 
 func (o Options) limit() float64 {
@@ -182,22 +188,61 @@ func finish(name string, opts Options, stats *Stats, fs *mrt.Stats) error {
 	return nil
 }
 
+// openTimed is Open plus an obs.StageOpen span when a tracer is
+// attached.
+func openTimed(path string, tr *obs.Tracer) (io.ReadCloser, error) {
+	if !tr.Active() {
+		return Open(path)
+	}
+	start := time.Now()
+	rc, err := Open(path)
+	tr.EmitSpan(obs.StageOpen, path, start, time.Since(start), nil)
+	return rc, err
+}
+
 // ScanRIBs streams every RIBView of a TABLE_DUMP_V2 file into fn.
 func ScanRIBs(path string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
-	rc, err := Open(path)
+	return ScanRIBsContext(context.Background(), path, opts, stats, fn)
+}
+
+// ScanRIBsContext is ScanRIBs with cancellation: a canceled ctx aborts
+// the scan between records with ctx.Err().
+func ScanRIBsContext(ctx context.Context, path string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
+	rc, err := openTimed(path, opts.Tracer)
 	if err != nil {
 		return err
 	}
 	defer rc.Close()
-	return ScanRIBsFrom(rc, path, opts, stats, fn)
+	return scanRIBsFrom(ctx, rc, path, opts, stats, fn)
 }
 
 // ScanRIBsFrom is ScanRIBs over an already-open stream; name labels the
 // stream in errors and statistics.
 func ScanRIBsFrom(r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
+	return scanRIBsFrom(context.Background(), r, name, opts, stats, fn)
+}
+
+func scanRIBsFrom(ctx context.Context, r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.RIBView) error) error {
 	fs := &mrt.Stats{}
+	tr := opts.Tracer
+	if tr.Active() {
+		tr.StageStartOnly(obs.StageDecode, name)
+		start := time.Now()
+		defer func() {
+			tr.EmitSpan(obs.StageDecode, name, start, time.Since(start), func(s *obs.Span) {
+				s.Records = int64(fs.Records)
+				s.Bytes = fs.BytesRead
+			})
+			tr.AddBytes(fs.BytesRead)
+		}()
+	}
+	done := ctx.Done()
 	sc := mrt.NewTableDumpScannerOptions(r, scanOptions(name, opts, fs))
 	for {
+		if chClosed(done) {
+			stats.add(name, fs)
+			return ctx.Err()
+		}
 		v, err := sc.Next()
 		if err == io.EOF {
 			break
@@ -209,29 +254,58 @@ func ScanRIBsFrom(r io.Reader, name string, opts Options, stats *Stats, fn func(
 			}
 			return fmt.Errorf("ingest: %s: %w", name, err)
 		}
+		tr.AddRecords(1)
 		if err := fn(v); err != nil {
 			stats.add(name, fs)
 			return err
 		}
 	}
+	tr.FileDone()
 	return finish(name, opts, stats, fs)
 }
 
 // ScanUpdates streams every decoded UpdateView of a BGP4MP file into fn.
 func ScanUpdates(path string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
-	rc, err := Open(path)
+	return ScanUpdatesContext(context.Background(), path, opts, stats, fn)
+}
+
+// ScanUpdatesContext is ScanUpdates with cancellation: a canceled ctx
+// aborts the scan between records with ctx.Err().
+func ScanUpdatesContext(ctx context.Context, path string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
+	rc, err := openTimed(path, opts.Tracer)
 	if err != nil {
 		return err
 	}
 	defer rc.Close()
-	return ScanUpdatesFrom(rc, path, opts, stats, fn)
+	return scanUpdatesFrom(ctx, rc, path, opts, stats, fn)
 }
 
 // ScanUpdatesFrom is ScanUpdates over an already-open stream.
 func ScanUpdatesFrom(r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
+	return scanUpdatesFrom(context.Background(), r, name, opts, stats, fn)
+}
+
+func scanUpdatesFrom(ctx context.Context, r io.Reader, name string, opts Options, stats *Stats, fn func(*mrt.UpdateView) error) error {
 	fs := &mrt.Stats{}
+	tr := opts.Tracer
+	if tr.Active() {
+		tr.StageStartOnly(obs.StageDecode, name)
+		start := time.Now()
+		defer func() {
+			tr.EmitSpan(obs.StageDecode, name, start, time.Since(start), func(s *obs.Span) {
+				s.Records = int64(fs.Records)
+				s.Bytes = fs.BytesRead
+			})
+			tr.AddBytes(fs.BytesRead)
+		}()
+	}
+	done := ctx.Done()
 	sc := mrt.NewUpdateScannerOptions(r, scanOptions(name, opts, fs))
 	for {
+		if chClosed(done) {
+			stats.add(name, fs)
+			return ctx.Err()
+		}
 		v, err := sc.Next()
 		if err == io.EOF {
 			break
@@ -243,10 +317,25 @@ func ScanUpdatesFrom(r io.Reader, name string, opts Options, stats *Stats, fn fu
 			}
 			return fmt.Errorf("ingest: %s: %w", name, err)
 		}
+		tr.AddRecords(1)
 		if err := fn(v); err != nil {
 			stats.add(name, fs)
 			return err
 		}
 	}
+	tr.FileDone()
 	return finish(name, opts, stats, fs)
+}
+
+// chClosed is a non-blocking closed-channel probe; nil reads as open.
+func chClosed(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }

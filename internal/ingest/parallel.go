@@ -3,6 +3,7 @@
 package ingest
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,19 +33,33 @@ type InputFile struct {
 // failure are not started.
 func ScanParallel(files []InputFile, opts Options, workers int, stats *Stats,
 	ribFn func(*mrt.RIBView) error, updFn func(*mrt.UpdateView) error) error {
+	return ScanParallelContext(context.Background(), files, opts, workers, stats, ribFn, updFn)
+}
+
+// ScanParallelContext is ScanParallel with cancellation: a canceled ctx
+// stops workers from starting new files, aborts in-flight scans between
+// records, and returns ctx.Err() once every worker has been joined — no
+// goroutine outlives the call. If a file failed on its own before the
+// cancellation, that error wins (input order), matching ScanParallel.
+func ScanParallelContext(ctx context.Context, files []InputFile, opts Options, workers int, stats *Stats,
+	ribFn func(*mrt.RIBView) error, updFn func(*mrt.UpdateView) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(files) {
 		workers = len(files)
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for _, f := range files {
+			if chClosed(done) {
+				return ctx.Err()
+			}
 			var err error
 			if f.Updates {
-				err = ScanUpdates(f.Path, opts, stats, updFn)
+				err = ScanUpdatesContext(ctx, f.Path, opts, stats, updFn)
 			} else {
-				err = ScanRIBs(f.Path, opts, stats, ribFn)
+				err = ScanRIBsContext(ctx, f.Path, opts, stats, ribFn)
 			}
 			if err != nil {
 				return err
@@ -67,16 +82,16 @@ func ScanParallel(files []InputFile, opts Options, workers int, stats *Stats,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if failed.Load() {
+				if failed.Load() || chClosed(done) {
 					continue
 				}
 				f := files[i]
 				var st Stats
 				var err error
 				if f.Updates {
-					err = ScanUpdates(f.Path, opts, &st, updFn)
+					err = ScanUpdatesContext(ctx, f.Path, opts, &st, updFn)
 				} else {
-					err = ScanRIBs(f.Path, opts, &st, ribFn)
+					err = ScanRIBsContext(ctx, f.Path, opts, &st, ribFn)
 				}
 				results[i] = fileResult{stats: st, err: err, done: true}
 				if err != nil {
@@ -104,5 +119,5 @@ func ScanParallel(files []InputFile, opts Options, workers int, stats *Stats,
 			return r.err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Collector is an Observer that accumulates spans in memory, for tests
+// and end-of-run summaries. Safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	spans []Span
+	evs   []ProgressEvent
+}
+
+// StageStart implements Observer.
+func (c *Collector) StageStart(Stage, string) {}
+
+// StageEnd implements Observer.
+func (c *Collector) StageEnd(span Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, span)
+	c.mu.Unlock()
+}
+
+// Progress implements Observer.
+func (c *Collector) Progress(ev ProgressEvent) {
+	c.mu.Lock()
+	c.evs = append(c.evs, ev)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in arrival order.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// Events returns a copy of the collected progress events.
+func (c *Collector) Events() []ProgressEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ProgressEvent(nil), c.evs...)
+}
+
+// StageAgg is one row of Collector.Summary: every span of one stage
+// folded together.
+type StageAgg struct {
+	Stage    Stage
+	Spans    int
+	Duration time.Duration // summed — overlapping worker spans exceed wall time
+	Records  int64
+	Tuples   int64
+	Bytes    int64
+	Allocs   uint64
+}
+
+// Summary folds the collected spans per stage, ordered by first
+// appearance.
+func (c *Collector) Summary() []StageAgg {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := make(map[Stage]int)
+	var out []StageAgg
+	for _, s := range c.spans {
+		i, ok := idx[s.Stage]
+		if !ok {
+			i = len(out)
+			idx[s.Stage] = i
+			out = append(out, StageAgg{Stage: s.Stage})
+		}
+		a := &out[i]
+		a.Spans++
+		a.Duration += s.Duration
+		a.Records += s.Records
+		a.Tuples += s.Tuples
+		a.Bytes += s.Bytes
+		a.Allocs += s.Allocs
+	}
+	return out
+}
+
+// RenderSummary formats the per-stage aggregation as an aligned table.
+func (c *Collector) RenderSummary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %6s %12s %12s %10s %12s %10s\n",
+		"stage", "spans", "time", "records", "tuples", "bytes", "allocs")
+	for _, a := range c.Summary() {
+		fmt.Fprintf(&b, "%-15s %6d %12s %12d %10d %12d %10d\n",
+			a.Stage, a.Spans, a.Duration.Round(time.Microsecond), a.Records, a.Tuples, a.Bytes, a.Allocs)
+	}
+	return b.String()
+}
+
+// ProgressPrinter is an Observer writing human-readable one-line
+// updates — stage completions and periodic heartbeats — to w. Safe for
+// concurrent use.
+type ProgressPrinter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressPrinter returns a printer writing to w.
+func NewProgressPrinter(w io.Writer) *ProgressPrinter { return &ProgressPrinter{w: w} }
+
+// StageStart implements Observer; per-file stage starts are suppressed
+// to keep the stream readable (their spans still print on completion).
+func (p *ProgressPrinter) StageStart(stage Stage, label string) {
+	if label != "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "stage %s...\n", stage)
+}
+
+// StageEnd implements Observer.
+func (p *ProgressPrinter) StageEnd(s Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "stage %s done in %s", s.Stage, s.Duration.Round(time.Microsecond))
+	if s.Label != "" {
+		fmt.Fprintf(p.w, " (%s)", s.Label)
+	}
+	if s.Records > 0 {
+		fmt.Fprintf(p.w, ", %d records", s.Records)
+	}
+	if s.Tuples > 0 {
+		fmt.Fprintf(p.w, ", %d tuples", s.Tuples)
+	}
+	if s.Bytes > 0 {
+		fmt.Fprintf(p.w, ", %s", formatBytes(s.Bytes))
+	}
+	if s.Allocs > 0 {
+		fmt.Fprintf(p.w, ", %d allocs (%s)", s.Allocs, formatBytes(int64(s.AllocBytes)))
+	}
+	fmt.Fprintln(p.w)
+}
+
+// Progress implements Observer.
+func (p *ProgressPrinter) Progress(ev ProgressEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	verb := "progress"
+	if ev.Final {
+		verb = "finished"
+	}
+	fmt.Fprintf(p.w, "%s %s:", verb, ev.Elapsed.Round(time.Millisecond))
+	if ev.Stage != "" {
+		fmt.Fprintf(p.w, " stage=%s", ev.Stage)
+	}
+	if ev.Files > 0 {
+		fmt.Fprintf(p.w, " files=%d/%d", ev.FilesDone, ev.Files)
+	}
+	fmt.Fprintf(p.w, " records=%d tuples=%d", ev.Records, ev.Tuples)
+	if ev.Bytes > 0 {
+		fmt.Fprintf(p.w, " bytes=%s", formatBytes(ev.Bytes))
+	}
+	fmt.Fprintln(p.w)
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// JSONTracer is an Observer emitting one JSON object per line — the
+// -trace-json event stream. Event shapes:
+//
+//	{"event":"stage_start","t_ms":0.1,"stage":"decode","label":"a.mrt"}
+//	{"event":"stage_end","t_ms":9.2,"stage":"decode","label":"a.mrt",
+//	 "wall_ms":9.1,"records":1200,"tuples":0,"bytes":51234,
+//	 "allocs":0,"alloc_bytes":0}
+//	{"event":"progress","t_ms":500.0,"stage":"decode","files_done":1,
+//	 "files":4,"records":3400,"tuples":2100,"bytes":140000,"final":false}
+//
+// t_ms is milliseconds since the tracer was constructed. Safe for
+// concurrent use; lines are written atomically.
+type JSONTracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	enc   *json.Encoder
+}
+
+// NewJSONTracer returns a tracer writing JSON lines to w.
+func NewJSONTracer(w io.Writer) *JSONTracer {
+	return &JSONTracer{w: w, start: time.Now(), enc: json.NewEncoder(w)}
+}
+
+func (j *JSONTracer) emit(v any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.enc.Encode(v) //nolint:errcheck // telemetry stream; nothing to do on error
+}
+
+func (j *JSONTracer) tms() float64 {
+	return float64(time.Since(j.start).Microseconds()) / 1e3
+}
+
+// StageStart implements Observer.
+func (j *JSONTracer) StageStart(stage Stage, label string) {
+	j.emit(struct {
+		Event string  `json:"event"`
+		TMs   float64 `json:"t_ms"`
+		Stage Stage   `json:"stage"`
+		Label string  `json:"label,omitempty"`
+	}{"stage_start", j.tms(), stage, label})
+}
+
+// StageEnd implements Observer.
+func (j *JSONTracer) StageEnd(s Span) {
+	j.emit(struct {
+		Event      string  `json:"event"`
+		TMs        float64 `json:"t_ms"`
+		Stage      Stage   `json:"stage"`
+		Label      string  `json:"label,omitempty"`
+		WallMs     float64 `json:"wall_ms"`
+		Records    int64   `json:"records"`
+		Tuples     int64   `json:"tuples"`
+		Bytes      int64   `json:"bytes"`
+		Allocs     uint64  `json:"allocs"`
+		AllocBytes uint64  `json:"alloc_bytes"`
+	}{"stage_end", j.tms(), s.Stage, s.Label,
+		float64(s.Duration.Microseconds()) / 1e3, s.Records, s.Tuples, s.Bytes, s.Allocs, s.AllocBytes})
+}
+
+// Progress implements Observer.
+func (j *JSONTracer) Progress(ev ProgressEvent) {
+	j.emit(struct {
+		Event     string  `json:"event"`
+		TMs       float64 `json:"t_ms"`
+		Stage     Stage   `json:"stage,omitempty"`
+		FilesDone int64   `json:"files_done"`
+		Files     int64   `json:"files"`
+		Records   int64   `json:"records"`
+		Tuples    int64   `json:"tuples"`
+		Bytes     int64   `json:"bytes"`
+		Final     bool    `json:"final"`
+	}{"progress", j.tms(), ev.Stage, ev.FilesDone, ev.Files, ev.Records, ev.Tuples, ev.Bytes, ev.Final})
+}

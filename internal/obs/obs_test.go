@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimeNilObserverRunsFunc(t *testing.T) {
+	ran := false
+	err := Time(context.Background(), nil, StageObserve, "", nil, func(context.Context) error {
+		ran = true
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("ran=%v err=%v", ran, err)
+	}
+	want := errors.New("boom")
+	if err := Time(context.Background(), nil, StageObserve, "", nil, func(context.Context) error {
+		return want
+	}); err != want {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}
+
+func TestTimeEmitsSpan(t *testing.T) {
+	col := &Collector{}
+	err := Time(context.Background(), col, StageCluster, "label", func(s *Span) {
+		s.Tuples = 42
+	}, func(context.Context) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Stage != StageCluster || s.Label != "label" || s.Tuples != 42 {
+		t.Errorf("span = %+v", s)
+	}
+	if s.Duration < time.Millisecond {
+		t.Errorf("duration %v < 1ms", s.Duration)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Collector{}, &Collector{}
+	m := Multi(a, b)
+	m.StageEnd(Span{Stage: StageOpen})
+	m.Progress(ProgressEvent{Final: true})
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Error("span not fanned out")
+	}
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Error("progress not fanned out")
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Active() {
+		t.Error("nil tracer active")
+	}
+	// None of these may panic.
+	tr.SetFiles(3)
+	tr.FileDone()
+	tr.AddRecords(1)
+	tr.AddTuples(1)
+	tr.AddBytes(1)
+	tr.EmitSpan(StageOpen, "x", time.Now(), time.Second, nil)
+	tr.StageStartOnly(StageDecode, "x")
+	tr.AddStageTime(StageStoreAdd, time.Second, 1)
+	tr.FlushAggregates()
+	tr.StartProgress()
+	tr.Close()
+	if err := tr.Stage(context.Background(), StageObserve, "", nil, func(context.Context) error {
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if NewTracer(nil, time.Second) != nil {
+		t.Error("NewTracer(nil) != nil")
+	}
+}
+
+func TestTracerProgressLifecycle(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col, time.Millisecond)
+	tr.SetFiles(2)
+	tr.AddRecords(10)
+	tr.AddTuples(5)
+	tr.AddBytes(100)
+	tr.FileDone()
+	tr.StartProgress()
+	time.Sleep(20 * time.Millisecond)
+	tr.Close()
+	tr.Close() // idempotent
+
+	evs := col.Events()
+	if len(evs) < 2 {
+		t.Fatalf("got %d progress events, want ticker beats plus final", len(evs))
+	}
+	final := evs[len(evs)-1]
+	if !final.Final {
+		t.Error("last event not final")
+	}
+	if final.Files != 2 || final.FilesDone != 1 || final.Records != 10 || final.Tuples != 5 || final.Bytes != 100 {
+		t.Errorf("final = %+v", final)
+	}
+	for _, ev := range evs[:len(evs)-1] {
+		if ev.Final {
+			t.Error("non-last event marked final")
+		}
+	}
+}
+
+func TestTracerAggregates(t *testing.T) {
+	col := &Collector{}
+	tr := NewTracer(col, 0)
+	tr.AddStageTime(StageStoreAdd, time.Second, 3)
+	tr.AddStageTime(StageStoreAdd, time.Second, 2)
+	tr.FlushAggregates()
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Stage != StageStoreAdd || spans[0].Duration != 2*time.Second || spans[0].Records != 5 {
+		t.Errorf("aggregate span = %+v", spans[0])
+	}
+	// Flushed state is cleared; a second flush emits nothing.
+	tr.FlushAggregates()
+	if len(col.Spans()) != 1 {
+		t.Error("second flush re-emitted")
+	}
+}
+
+func TestCollectorSummary(t *testing.T) {
+	col := &Collector{}
+	col.StageEnd(Span{Stage: StageDecode, Duration: time.Second, Records: 10, Bytes: 100})
+	col.StageEnd(Span{Stage: StageDecode, Duration: time.Second, Records: 5, Bytes: 50})
+	col.StageEnd(Span{Stage: StageObserve, Duration: time.Second, Tuples: 7})
+	sum := col.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d rows", len(sum))
+	}
+	if sum[0].Stage != StageDecode || sum[0].Spans != 2 || sum[0].Records != 15 || sum[0].Bytes != 150 {
+		t.Errorf("decode row = %+v", sum[0])
+	}
+	if sum[1].Stage != StageObserve || sum[1].Tuples != 7 {
+		t.Errorf("observe row = %+v", sum[1])
+	}
+	if !strings.Contains(col.RenderSummary(), "decode") {
+		t.Error("rendered summary misses decode")
+	}
+}
+
+func TestJSONTracerEmitsValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONTracer(&buf)
+	j.StageStart(StageDecode, "a.mrt")
+	j.StageEnd(Span{Stage: StageDecode, Label: "a.mrt", Duration: 3 * time.Millisecond, Records: 7})
+	j.Progress(ProgressEvent{Stage: StageDecode, Files: 2, FilesDone: 1, Final: true})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var events []map[string]any
+	for i, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not JSON: %q: %v", i+1, line, err)
+		}
+		events = append(events, m)
+	}
+	if events[0]["event"] != "stage_start" || events[0]["stage"] != "decode" {
+		t.Errorf("first event = %v", events[0])
+	}
+	if events[1]["event"] != "stage_end" || events[1]["wall_ms"] != 3.0 || events[1]["records"] != 7.0 {
+		t.Errorf("second event = %v", events[1])
+	}
+	if events[2]["event"] != "progress" || events[2]["final"] != true {
+		t.Errorf("third event = %v", events[2])
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "A counter.")
+	c.Add(3)
+	g := reg.Gauge("test_gauge", "A gauge.")
+	g.Set(1.5)
+	v := reg.CounterVec("test_labeled_total", "Labeled.", "endpoint")
+	v.With("a").Add(1)
+	v.With(`q"u\o
+
+te`).Add(2)
+	reg.GaugeFunc("test_func", "Computed.", func() float64 { return 9 })
+	mx := reg.Gauge("test_max", "Max.")
+	mx.Max(2)
+	mx.Max(1) // lower: no effect
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_total A counter.",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"test_gauge 1.5",
+		`test_labeled_total{endpoint="a"} 1`,
+		`test_labeled_total{endpoint="q\"u\\o\n\nte"} 2`,
+		"test_func 9",
+		"test_max 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+	// Families render in name order.
+	if strings.Index(out, "test_func") > strings.Index(out, "test_gauge") ||
+		strings.Index(out, "test_gauge") > strings.Index(out, "test_labeled_total") {
+		t.Errorf("families not name-sorted:\n%s", out)
+	}
+	if !strings.HasPrefix(ContentType, "text/plain; version=0.0.4") {
+		t.Errorf("ContentType = %q", ContentType)
+	}
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_total", "")
+	v := reg.CounterVec("conc_labeled_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+				v.With("x").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %g, want 8000", got)
+	}
+	if got := v.With("x").Value(); got != 8000 {
+		t.Errorf("labeled counter = %g, want 8000", got)
+	}
+}
+
+func TestRegistryMisusePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	for name, fn := range map[string]func(){
+		"bad name":      func() { reg.Counter("bad metric", "") },
+		"bad label":     func() { reg.CounterVec("ok_total", "", "bad label") },
+		"kind conflict": func() { reg.Gauge("dup_total", "") },
+		"label count":   func() { reg.CounterVec("lv_total", "", "a").With("x", "y") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer threads one pipeline run's telemetry: it owns the live
+// throughput counters behind progress events, forwards spans to the
+// attached Observer, and drives the periodic progress ticker. Every
+// method is safe on a nil *Tracer (and safe for concurrent use), so
+// instrumented code paths need no observer-presence branching beyond
+// what the compiler inserts for the nil check.
+type Tracer struct {
+	o        Observer
+	start    time.Time
+	interval time.Duration
+
+	stage atomic.Value // Stage: most recently started top-level stage
+
+	files     atomic.Int64
+	filesDone atomic.Int64
+	records   atomic.Int64
+	tuples    atomic.Int64
+	bytes     atomic.Int64
+
+	// per-stage accumulated durations for aggregate spans (store-add)
+	aggMu sync.Mutex
+	agg   map[Stage]*aggStage
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// aggStage accumulates worker-side time attributed to one stage.
+type aggStage struct {
+	ns    atomic.Int64
+	items atomic.Int64
+}
+
+// NewTracer wires an Observer into a tracer; a nil observer yields a
+// nil tracer, on which every method is a no-op. interval > 0 enables
+// periodic ProgressEvents once StartProgress is called.
+func NewTracer(o Observer, interval time.Duration) *Tracer {
+	if o == nil {
+		return nil
+	}
+	return &Tracer{
+		o:        o,
+		start:    time.Now(),
+		interval: interval,
+		agg:      make(map[Stage]*aggStage),
+	}
+}
+
+// Observer returns the attached observer (nil for a nil tracer).
+func (t *Tracer) Observer() Observer {
+	if t == nil {
+		return nil
+	}
+	return t.o
+}
+
+// SetFiles announces the total input-file count for progress events.
+func (t *Tracer) SetFiles(n int64) {
+	if t != nil {
+		t.files.Store(n)
+	}
+}
+
+// FileDone marks one input file fully ingested.
+func (t *Tracer) FileDone() {
+	if t != nil {
+		t.filesDone.Add(1)
+	}
+}
+
+// AddRecords bumps the live record counter.
+func (t *Tracer) AddRecords(n int64) {
+	if t != nil {
+		t.records.Add(n)
+	}
+}
+
+// AddTuples bumps the live tuple counter.
+func (t *Tracer) AddTuples(n int64) {
+	if t != nil {
+		t.tuples.Add(n)
+	}
+}
+
+// AddBytes bumps the live byte counter.
+func (t *Tracer) AddBytes(n int64) {
+	if t != nil {
+		t.bytes.Add(n)
+	}
+}
+
+// Active reports whether telemetry is being collected; instrumented hot
+// paths use it to skip per-item timing when nobody is watching.
+func (t *Tracer) Active() bool { return t != nil }
+
+// Stage runs f as a top-level pipeline stage via Time, recording the
+// stage for progress events. Safe (and still pprof-labeling) on a nil
+// tracer.
+func (t *Tracer) Stage(ctx context.Context, stage Stage, label string, fill func(*Span), f func(context.Context) error) error {
+	if t == nil {
+		return Time(ctx, nil, stage, label, fill, f)
+	}
+	t.stage.Store(stage)
+	return Time(ctx, t.o, stage, label, fill, f)
+}
+
+// EmitSpan reports an externally-timed span (per-file open/decode spans
+// from ingest workers). No allocation deltas are attached: the workers
+// overlap, so a process-wide delta would be noise.
+func (t *Tracer) EmitSpan(stage Stage, label string, start time.Time, d time.Duration, fill func(*Span)) {
+	if t == nil {
+		return
+	}
+	span := Span{Stage: stage, Label: label, Start: start, Duration: d}
+	if fill != nil {
+		fill(&span)
+	}
+	t.o.StageEnd(span)
+}
+
+// StageStartOnly announces a stage beginning without timing it (the
+// matching span arrives via EmitSpan).
+func (t *Tracer) StageStartOnly(stage Stage, label string) {
+	if t == nil {
+		return
+	}
+	t.o.StageStart(stage, label)
+}
+
+// AddStageTime accumulates worker-side time into an aggregate stage;
+// FlushAggregates later emits one span per accumulated stage.
+func (t *Tracer) AddStageTime(stage Stage, d time.Duration, items int64) {
+	if t == nil {
+		return
+	}
+	t.aggMu.Lock()
+	a := t.agg[stage]
+	if a == nil {
+		a = &aggStage{}
+		t.agg[stage] = a
+	}
+	t.aggMu.Unlock()
+	a.ns.Add(int64(d))
+	a.items.Add(items)
+}
+
+// FlushAggregates emits one span per stage accumulated through
+// AddStageTime, then clears them. Their Duration is summed
+// worker-seconds, not elapsed wall time.
+func (t *Tracer) FlushAggregates() {
+	if t == nil {
+		return
+	}
+	t.aggMu.Lock()
+	agg := t.agg
+	t.agg = make(map[Stage]*aggStage)
+	t.aggMu.Unlock()
+	for stage, a := range agg {
+		t.o.StageEnd(Span{
+			Stage:    stage,
+			Start:    t.start,
+			Duration: time.Duration(a.ns.Load()),
+			Records:  a.items.Load(),
+		})
+	}
+}
+
+// progress assembles the current heartbeat.
+func (t *Tracer) progress(final bool) ProgressEvent {
+	stage, _ := t.stage.Load().(Stage)
+	return ProgressEvent{
+		Elapsed:   time.Since(t.start),
+		Stage:     stage,
+		FilesDone: t.filesDone.Load(),
+		Files:     t.files.Load(),
+		Records:   t.records.Load(),
+		Tuples:    t.tuples.Load(),
+		Bytes:     t.bytes.Load(),
+		Final:     final,
+	}
+}
+
+// StartProgress launches the periodic progress goroutine (no-op when
+// the tracer is nil or the interval is zero). Close stops it; the
+// goroutine never leaks past Close.
+func (t *Tracer) StartProgress() {
+	if t == nil || t.interval <= 0 || t.stop != nil {
+		return
+	}
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(t.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				t.o.Progress(t.progress(false))
+			case <-t.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the progress goroutine (waiting for it to exit) and
+// emits one final progress event so observers always see the end
+// totals. Safe to call multiple times and on a nil tracer.
+func (t *Tracer) Close() {
+	if t == nil {
+		return
+	}
+	t.stopOnce.Do(func() {
+		if t.stop != nil {
+			close(t.stop)
+			<-t.done
+		}
+		t.o.Progress(t.progress(true))
+	})
+}

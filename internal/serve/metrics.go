@@ -2,17 +2,18 @@ package serve
 
 import (
 	"sort"
-	"sync/atomic"
 	"time"
+
+	"bgpintent/internal/obs"
 )
 
-// endpointMetrics are the per-endpoint counters; all fields are
-// atomics, so the hot path never takes a lock.
+// endpointMetrics are one endpoint's series handles into the registry;
+// updates are atomic, so the hot path never takes a lock.
 type endpointMetrics struct {
-	requests atomic.Int64
-	errors   atomic.Int64 // responses with status >= 400
-	totalNS  atomic.Int64
-	maxNS    atomic.Int64
+	requests *obs.Metric
+	errors   *obs.Metric
+	durTotal *obs.Metric // seconds
+	durMax   *obs.Metric // seconds
 }
 
 func (m *endpointMetrics) observe(d time.Duration, failed bool) {
@@ -20,14 +21,9 @@ func (m *endpointMetrics) observe(d time.Duration, failed bool) {
 	if failed {
 		m.errors.Add(1)
 	}
-	ns := d.Nanoseconds()
-	m.totalNS.Add(ns)
-	for {
-		old := m.maxNS.Load()
-		if ns <= old || m.maxNS.CompareAndSwap(old, ns) {
-			return
-		}
-	}
+	s := d.Seconds()
+	m.durTotal.Add(s)
+	m.durMax.Max(s)
 }
 
 // EndpointStats is the exported view of one endpoint's counters.
@@ -38,20 +34,68 @@ type EndpointStats struct {
 	MaxMicros float64 `json:"max_us"`
 }
 
-// Metrics aggregates the server's operational counters, in the spirit
-// of expvar: cheap atomic updates, one JSON page to scrape.
+// Metrics aggregates the server's operational counters on an
+// obs.Registry, so one set of atomic counters backs both the
+// Prometheus exposition at /metrics and the JSON view at /v1/metrics.
 type Metrics struct {
 	start     time.Time
+	reg       *obs.Registry
 	endpoints map[string]*endpointMetrics // keys fixed at construction
 
-	reloads      atomic.Int64
-	reloadErrors atomic.Int64
+	reloads      *obs.Metric
+	reloadErrors *obs.Metric
+
+	snapGeneration   *obs.Metric
+	snapBuildSeconds *obs.Metric
+	snapTuples       *obs.Metric
+	snapPaths        *obs.Metric
+	snapCommunities  *obs.Metric
+	snapClusters     *obs.Metric
 }
 
 func newMetrics(endpoints []string) *Metrics {
-	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointMetrics, len(endpoints))}
+	reg := obs.NewRegistry()
+	requests := reg.CounterVec("intentd_http_requests_total",
+		"HTTP requests served, by endpoint.", "endpoint")
+	errors := reg.CounterVec("intentd_http_request_errors_total",
+		"HTTP responses with status >= 400, by endpoint.", "endpoint")
+	durTotal := reg.CounterVec("intentd_http_request_duration_seconds_total",
+		"Summed request handling time in seconds, by endpoint.", "endpoint")
+	durMax := reg.GaugeVec("intentd_http_request_max_duration_seconds",
+		"Slowest request handling time in seconds, by endpoint.", "endpoint")
+
+	m := &Metrics{
+		start:     time.Now(),
+		reg:       reg,
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		reloads: reg.Counter("intentd_reloads_total",
+			"Successful snapshot reloads since start (the initial build excluded)."),
+		reloadErrors: reg.Counter("intentd_reload_errors_total",
+			"Failed snapshot reloads since start."),
+		snapGeneration: reg.Gauge("intentd_snapshot_generation",
+			"Generation number of the currently-served snapshot."),
+		snapBuildSeconds: reg.Gauge("intentd_snapshot_build_seconds",
+			"Build duration of the currently-served snapshot, in seconds."),
+		snapTuples: reg.Gauge("intentd_snapshot_tuples",
+			"Corpus tuple count behind the currently-served snapshot."),
+		snapPaths: reg.Gauge("intentd_snapshot_paths",
+			"Corpus unique-AS-path count behind the currently-served snapshot."),
+		snapCommunities: reg.Gauge("intentd_snapshot_communities",
+			"Distinct communities observed in the currently-served snapshot's corpus."),
+		snapClusters: reg.Gauge("intentd_snapshot_clusters",
+			"Inferred clusters in the currently-served snapshot."),
+	}
+	reg.GaugeFunc("intentd_uptime_seconds",
+		"Seconds since the server started.", func() float64 {
+			return time.Since(m.start).Seconds()
+		})
 	for _, e := range endpoints {
-		m.endpoints[e] = &endpointMetrics{}
+		m.endpoints[e] = &endpointMetrics{
+			requests: requests.With(e),
+			errors:   errors.With(e),
+			durTotal: durTotal.With(e),
+			durMax:   durMax.With(e),
+		}
 	}
 	return m
 }
@@ -61,7 +105,18 @@ func (m *Metrics) endpoint(name string) *endpointMetrics {
 	return m.endpoints[name]
 }
 
-// MetricsSnapshot is the scrape-time view served at /v1/metrics.
+// setSnapshot publishes a freshly-installed snapshot's gauges.
+func (m *Metrics) setSnapshot(snap *Snapshot) {
+	m.snapGeneration.Set(float64(snap.Gen))
+	m.snapBuildSeconds.Set(snap.BuildDuration.Seconds())
+	m.snapTuples.Set(float64(snap.Info.Tuples))
+	m.snapPaths.Set(float64(snap.Info.Paths))
+	m.snapCommunities.Set(float64(snap.Info.Communities))
+	m.snapClusters.Set(float64(snap.clusters))
+}
+
+// MetricsSnapshot is the scrape-time view served at /v1/metrics — a
+// JSON rendering of the same registry /metrics exposes.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
 	Generation    uint64                   `json:"generation"`
@@ -75,8 +130,8 @@ func (m *Metrics) snapshot(gen uint64) MetricsSnapshot {
 	out := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Generation:    gen,
-		Reloads:       m.reloads.Load(),
-		ReloadErrors:  m.reloadErrors.Load(),
+		Reloads:       int64(m.reloads.Value()),
+		ReloadErrors:  int64(m.reloadErrors.Value()),
 		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
 	}
 	names := make([]string, 0, len(m.endpoints))
@@ -87,12 +142,12 @@ func (m *Metrics) snapshot(gen uint64) MetricsSnapshot {
 	for _, name := range names {
 		em := m.endpoints[name]
 		st := EndpointStats{
-			Requests:  em.requests.Load(),
-			Errors:    em.errors.Load(),
-			MaxMicros: float64(em.maxNS.Load()) / 1e3,
+			Requests:  int64(em.requests.Value()),
+			Errors:    int64(em.errors.Value()),
+			MaxMicros: em.durMax.Value() * 1e6,
 		}
 		if st.Requests > 0 {
-			st.AvgMicros = float64(em.totalNS.Load()) / float64(st.Requests) / 1e3
+			st.AvgMicros = em.durTotal.Value() / float64(st.Requests) * 1e6
 		}
 		out.Endpoints[name] = st
 	}

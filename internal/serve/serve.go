@@ -16,6 +16,7 @@ import (
 
 	"bgpintent"
 	"bgpintent/internal/bgp"
+	"bgpintent/internal/obs"
 )
 
 // Builder produces a fresh classification result; the server calls it
@@ -32,8 +33,9 @@ const maxAnnotateBody = 4 << 20
 // resolve, counting tuple members.
 const maxAnnotateItems = 65536
 
-// endpointNames are the instrumented endpoint keys in /v1/metrics.
-var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "reload"}
+// endpointNames are the instrumented endpoint keys in /v1/metrics and
+// the endpoint label values at /metrics.
+var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload"}
 
 // Server is the intentd HTTP core: an atomic current snapshot, a
 // builder to replace it, and the instrumented mux.
@@ -66,9 +68,9 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	if _, err := s.Reload(ctx); err != nil {
 		return nil, err
 	}
-	// The failed-reload counter should not count the initial build the
+	// The reload counter should not count the initial build the
 	// constructor already turned into an error.
-	s.metrics.reloads.Store(0)
+	s.metrics.reloads.Set(0)
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/community/{comm}", s.instrument("community", s.handleCommunity))
@@ -76,6 +78,7 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	s.mux.HandleFunc("GET /v1/as/{asn}", s.instrument("as", s.handleAS))
 	s.mux.HandleFunc("GET /v1/stats", s.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /metrics", s.instrument("prometheus", s.handlePrometheus))
 	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("reload", s.handleReload))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -110,6 +113,7 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	snap := NewSnapshot(s.gen.Add(1), res, info, source, time.Since(start))
 	s.snap.Store(snap)
 	s.metrics.reloads.Add(1)
+	s.metrics.setSnapshot(snap)
 	s.logf("installed snapshot %v in %v", snap, snap.BuildDuration.Round(time.Millisecond))
 	return snap, nil
 }
@@ -385,6 +389,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.Snapshot().Gen))
+}
+
+// handlePrometheus serves the registry in the Prometheus text
+// exposition format — the scrape target backing GET /metrics.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.metrics.reg.WritePrometheus(w) //nolint:errcheck // the connection is gone; nothing to do
 }
 
 // reloadResponse is the POST /v1/admin/reload body.

@@ -20,7 +20,7 @@ import (
 // at least one community — the probe the consistency tests key on.
 type testWorld struct {
 	corpus *bgpintent.Corpus
-	resA   *bgpintent.Result // threshold ~0: every mixed cluster information
+	resA   *bgpintent.Result // threshold 1: every mixed cluster information
 	resB   *bgpintent.Result // threshold ~inf: every mixed cluster action
 	probe  bgpintent.Community
 	catA   bgpintent.Category
@@ -44,7 +44,7 @@ func getWorld(t *testing.T) *testWorld {
 		}
 		w := &testWorld{
 			corpus: c,
-			resA:   c.Classify(bgpintent.Params{MinGap: 140, RatioThreshold: 1e-9}),
+			resA:   c.Classify(bgpintent.Params{MinGap: 140, RatioThreshold: 1}),
 			resB:   c.Classify(bgpintent.Params{MinGap: 140, RatioThreshold: 1e9}),
 		}
 		for _, lc := range w.resA.Labeled() {
@@ -304,6 +304,36 @@ func TestMetricsAndReload(t *testing.T) {
 	}
 	if m.Endpoints["reload"].Requests != 2 || m.Endpoints["reload"].Errors != 1 {
 		t.Fatalf("reload endpoint metrics %+v", m.Endpoints["reload"])
+	}
+
+	// The same counters expose at GET /metrics in Prometheus text form.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE intentd_http_requests_total counter",
+		`intentd_http_requests_total{endpoint="community"} 3`,
+		`intentd_http_requests_total{endpoint="reload"} 2`,
+		`intentd_http_request_errors_total{endpoint="reload"} 1`,
+		"intentd_reloads_total 1",
+		"intentd_reload_errors_total 1",
+		"intentd_snapshot_generation 2",
+		"intentd_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics misses %q:\n%s", want, body)
+		}
+	}
+	if snap := s.Snapshot(); !strings.Contains(body,
+		fmt.Sprintf("intentd_snapshot_tuples %d", snap.Info.Tuples)) {
+		t.Errorf("/metrics misses snapshot tuple gauge:\n%s", body)
 	}
 }
 

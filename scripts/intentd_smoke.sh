@@ -29,11 +29,36 @@ echo "== mrtdump from stdin (gzipped)"
 gzip -c "$work/corpus/rc00.day0.rib.mrt" | "$bin/mrtdump" - | grep -q "TABLE_DUMP_V2/RIB" \
     || fail "mrtdump - did not decode gzipped stdin"
 
-echo "== write snapshot + tsv"
+echo "== write snapshot + tsv (tracing the tsv run)"
 "$bin/intentinfer" -rib "$work/corpus/*.rib.mrt" -updates "$work/corpus/*.updates.mrt" \
     -as2org "$work/corpus/as2org.txt" -format snapshot -o "$work/intent.snap" >/dev/null
 "$bin/intentinfer" -rib "$work/corpus/*.rib.mrt" -updates "$work/corpus/*.updates.mrt" \
-    -as2org "$work/corpus/as2org.txt" -o "$work/intent.tsv" >/dev/null
+    -as2org "$work/corpus/as2org.txt" -o "$work/intent.tsv" \
+    -progress -trace-json "$work/trace.jsonl" >/dev/null 2>"$work/progress.log"
+
+echo "== trace stream is well-formed JSON lines"
+[ -s "$work/trace.jsonl" ] || fail "empty -trace-json stream"
+python3 - "$work/trace.jsonl" <<'PYEOF' || fail "trace stream validation"
+import json, sys
+stages = set()
+final = False
+with open(sys.argv[1]) as f:
+    for i, line in enumerate(f, 1):
+        ev = json.loads(line)
+        if ev["event"] not in ("stage_start", "stage_end", "progress"):
+            sys.exit(f"line {i}: unknown event {ev['event']!r}")
+        if ev["event"] == "stage_end":
+            stages.add(ev["stage"])
+        if ev["event"] == "progress" and ev["final"]:
+            final = True
+missing = {"open", "decode", "store-add", "shard-merge",
+           "observe", "cluster", "ratio", "classify", "snapshot-write"} - stages
+if missing:
+    sys.exit(f"no stage_end for: {sorted(missing)}")
+if not final:
+    sys.exit("no final progress event")
+PYEOF
+grep -q "^stage " "$work/progress.log" || fail "-progress printed no stage lines"
 comm=$(head -1 "$work/intent.tsv" | cut -f1)
 alpha=${comm%%:*}
 [ -n "$comm" ] || fail "empty TSV"
@@ -104,6 +129,15 @@ for _ in $(seq 1 100); do
 done
 [ "$gen" = "3" ] || fail "SIGHUP reload did not reach generation 3 (got ${gen:-none})"
 curl_ok "http://$addr/v1/metrics" | grep -q '"reloads": 2' || fail "metrics reload count"
+
+echo "== prometheus exposition"
+prom=$(curl_ok "http://$addr/metrics")
+echo "$prom" | grep -q '^intentd_http_requests_total{endpoint="community"} [0-9]' \
+    || fail "/metrics misses request counters"
+echo "$prom" | grep -q '^intentd_reloads_total 2$' || fail "/metrics reload counter"
+echo "$prom" | grep -q '^intentd_snapshot_generation 3$' || fail "/metrics snapshot generation"
+echo "$prom" | grep -q '^intentd_uptime_seconds [0-9]' || fail "/metrics uptime gauge"
+echo "$prom" | grep -q '^# TYPE intentd_http_requests_total counter$' || fail "/metrics TYPE lines"
 
 echo "== graceful shutdown"
 stop_intentd
