@@ -32,9 +32,13 @@ type pipelineBenchResult struct {
 }
 
 type pipelineBenchReport struct {
-	GoVersion  string                `json:"go_version"`
-	NumCPU     int                   `json:"num_cpu"`
-	GoMaxProcs int                   `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// SingleCore marks a report emitted at GOMAXPROCS<2: its
+	// speedup_vs_sequential columns measure scheduler overhead, not
+	// parallelism, and must not be used as a scaling baseline.
+	SingleCore bool                  `json:"single_core,omitempty"`
 	CorpusDays int                   `json:"corpus_days"`
 	RIBFiles   int                   `json:"rib_files"`
 	Tuples     int                   `json:"tuples"`
@@ -47,6 +51,13 @@ func TestEmitPipelineBench(t *testing.T) {
 	if os.Getenv("BGPINTENT_BENCH_PIPELINE") != "1" {
 		t.Skip("set BGPINTENT_BENCH_PIPELINE=1 to run the pipeline bench harness")
 	}
+	singleCore := runtime.GOMAXPROCS(0) < 2
+	if singleCore && os.Getenv("BGPINTENT_BENCH_ALLOW_SINGLE_CORE") != "1" {
+		t.Fatalf("refusing to emit BENCH_pipeline.json at GOMAXPROCS=%d: parallel speedups "+
+			"measured on one core are scheduler overhead, not scaling; run on a multi-core "+
+			"host or set BGPINTENT_BENCH_ALLOW_SINGLE_CORE=1 to emit a flagged report",
+			runtime.GOMAXPROCS(0))
+	}
 	days := benchDays()
 	ribs, err := writeBenchMRT(days)
 	if err != nil {
@@ -57,8 +68,12 @@ func TestEmitPipelineBench(t *testing.T) {
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		SingleCore: singleCore,
 		CorpusDays: days,
 		RIBFiles:   len(ribs),
+	}
+	if singleCore {
+		t.Log("GOMAXPROCS<2: report will carry single_core=true; speedup columns are not a scaling baseline")
 	}
 
 	// One warm load to size the fixture for the report and to feed the

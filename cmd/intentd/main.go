@@ -3,9 +3,10 @@
 // systems (location filters, anomaly detectors, looking glasses) can
 // ask "what is 2914:3075?" without re-running the pipeline.
 //
-// It loads either a precomputed snapshot (intentinfer -format
-// snapshot; cold start in milliseconds) or raw MRT archives (classified
-// on startup), and serves:
+// It loads a precomputed snapshot (intentinfer -format snapshot; cold
+// start in milliseconds), raw MRT archives (classified on startup), or
+// — with -live — consumes a simulated streaming feed through the
+// fault-tolerant Ingestor, and serves:
 //
 //	GET  /v1/community/{asn}:{value}  one community's verdict + evidence
 //	POST /v1/annotate                 batch: communities or (path, communities) tuples
@@ -14,19 +15,25 @@
 //	GET  /v1/metrics                  the operational counters as JSON
 //	GET  /metrics                     the same counters in Prometheus text format
 //	POST /v1/admin/reload             rebuild + atomically swap the snapshot
+//	GET  /v1/health                   feed health: healthy | stale | degraded (always 200)
 //	GET  /healthz                     liveness
 //
 // Reads are lock-free against an immutable snapshot; SIGHUP or the
 // admin endpoint rebuilds in the background and swaps with zero
-// downtime. SIGTERM/SIGINT drain connections gracefully within
-// -drain-timeout. -debug-addr exposes net/http/pprof on a separate
-// listener.
+// downtime. In live mode the feed Ingestor owns snapshot installation
+// (reload is disabled with a structured 409), survives disconnects,
+// stalls and corrupt frames by resuming from its last applied sequence
+// number, and on feed death degrades to serving the last good snapshot
+// while /v1/health reports stale/degraded. SIGTERM/SIGINT drain
+// connections gracefully within -drain-timeout. -debug-addr exposes
+// net/http/pprof on a separate listener.
 //
 // Usage:
 //
 //	intentd -snapshot out.snap [-addr :8642]
 //	intentd -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	        -as2org corpus/as2org.txt [-gap 140] [-ratio 160]
+//	intentd -live [-live-small] [-fault-rate 0.1] [-window 48h]
 package main
 
 import (
@@ -72,6 +79,29 @@ type config struct {
 	strict       bool
 	maxErr       float64
 	drainTimeout time.Duration
+
+	// HTTP listener hardening (0 = package default, negative = disabled).
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
+
+	// live-feed mode
+	live          bool
+	liveSmall     bool
+	liveSeed      int64
+	liveDays      int
+	liveLoop      bool
+	liveInterval  time.Duration
+	faultRate     float64
+	faultSeed     int64
+	faultStall    time.Duration
+	windowSpan    time.Duration
+	windowBuckets int
+	staleAfter    time.Duration
+	feedReadTO    time.Duration
+	retryBudget   int
+	snapEvery     int
+	snapInterval  time.Duration
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -91,14 +121,49 @@ func parseFlags(args []string) (*config, error) {
 		"abort a load when a file's corruption rate exceeds this fraction")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", serve.DefaultDrainTimeout,
 		"how long to wait for in-flight requests at shutdown")
+	fs.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", serve.DefaultReadHeaderTimeout,
+		"HTTP header read deadline (slow-loris guard; negative disables)")
+	fs.DurationVar(&cfg.readTimeout, "read-timeout", serve.DefaultReadTimeout,
+		"HTTP full-request read deadline (negative disables)")
+	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", serve.DefaultIdleTimeout,
+		"HTTP keep-alive idle deadline (negative disables)")
+
+	fs.BoolVar(&cfg.live, "live", false, "consume the simulated streaming feed instead of a static corpus")
+	fs.BoolVar(&cfg.liveSmall, "live-small", false, "use the test-sized synthetic Internet for the live feed")
+	fs.Int64Var(&cfg.liveSeed, "live-seed", 1, "deterministic seed of the live feed")
+	fs.IntVar(&cfg.liveDays, "live-days", 2, "distinct simulated days the live feed covers")
+	fs.BoolVar(&cfg.liveLoop, "live-loop", true, "replay the simulated days forever (endless feed)")
+	fs.DurationVar(&cfg.liveInterval, "live-interval", time.Millisecond, "wall-clock pacing between feed updates (0 = full speed)")
+	fs.Float64Var(&cfg.faultRate, "fault-rate", 0, "per-delivery fault injection probability in [0,1] (0 disables)")
+	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "deterministic seed of the fault injector")
+	fs.DurationVar(&cfg.faultStall, "fault-stall", 0, "injected stall length (0 = injector default)")
+	fs.DurationVar(&cfg.windowSpan, "window", 0, "rolling window span in feed time (0 = keep everything)")
+	fs.IntVar(&cfg.windowBuckets, "window-buckets", 0, "rolling window eviction granularity (0 = default)")
+	fs.DurationVar(&cfg.staleAfter, "stale-after", 0, "feed staleness budget for /v1/health (0 = default 2m)")
+	fs.DurationVar(&cfg.feedReadTO, "feed-read-timeout", 0, "feed read deadline before a stall reconnect (0 = default 30s)")
+	fs.IntVar(&cfg.retryBudget, "retry-budget", 0, "consecutive failed feed cycles before degrading (0 = default, negative = never)")
+	fs.IntVar(&cfg.snapEvery, "snapshot-every", 0, "feed updates per published snapshot (0 = default, negative = disabled)")
+	fs.DurationVar(&cfg.snapInterval, "snapshot-interval", 0, "wall time per published snapshot (0 = default, negative = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if cfg.snapshot == "" && cfg.ribGlob == "" && cfg.updGlob == "" {
-		return nil, fmt.Errorf("no data source: use -snapshot, or -rib/-updates")
-	}
-	if cfg.snapshot != "" && (cfg.ribGlob != "" || cfg.updGlob != "") {
-		return nil, fmt.Errorf("-snapshot and -rib/-updates are mutually exclusive")
+	if cfg.live {
+		if cfg.snapshot != "" || cfg.ribGlob != "" || cfg.updGlob != "" {
+			return nil, fmt.Errorf("-live and -snapshot/-rib/-updates are mutually exclusive")
+		}
+		if cfg.faultRate < 0 || cfg.faultRate > 1 {
+			return nil, fmt.Errorf("-fault-rate %g outside [0,1]", cfg.faultRate)
+		}
+	} else {
+		if cfg.faultRate != 0 {
+			return nil, fmt.Errorf("-fault-rate requires -live")
+		}
+		if cfg.snapshot == "" && cfg.ribGlob == "" && cfg.updGlob == "" {
+			return nil, fmt.Errorf("no data source: use -snapshot, -rib/-updates, or -live")
+		}
+		if cfg.snapshot != "" && (cfg.ribGlob != "" || cfg.updGlob != "") {
+			return nil, fmt.Errorf("-snapshot and -rib/-updates are mutually exclusive")
+		}
 	}
 	if err := (bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio}).Validate(); err != nil {
 		return nil, err
@@ -162,9 +227,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	start := time.Now()
-	srv, err := serve.New(ctx, builder(cfg), log.Printf)
+	b := builder(cfg)
+	if cfg.live {
+		// Live mode starts serving immediately from an empty placeholder;
+		// the feed Ingestor installs real snapshots as they are classified.
+		b = func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+			res, info := bgpintent.EmptyResult()
+			return res, info, "live:awaiting-feed", nil
+		}
+	}
+	srv, err := serve.New(ctx, b, log.Printf)
 	if err != nil {
 		return err
+	}
+	if cfg.live {
+		if err := startLive(ctx, cfg, srv); err != nil {
+			return err
+		}
 	}
 	snap := srv.Snapshot()
 	fmt.Fprintf(stdout, "ready: %v (startup %v)\n", snap, time.Since(start).Round(time.Millisecond))
@@ -197,12 +276,87 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	return srv.ListenAndServe(ctx, serve.ServeConfig{
-		Addr:         cfg.addr,
-		DrainTimeout: cfg.drainTimeout,
+		Addr:              cfg.addr,
+		DrainTimeout:      cfg.drainTimeout,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		IdleTimeout:       cfg.idleTimeout,
 		OnListen: func(a net.Addr) {
 			fmt.Fprintf(stdout, "listening on %s\n", a)
 		},
 	})
+}
+
+// feedAdapter bridges the facade's live-feed health into the serving
+// layer's structural type (the fields match one-to-one by design).
+type feedAdapter struct{ live *bgpintent.Live }
+
+func (f feedAdapter) FeedHealth() serve.FeedHealth {
+	h := f.live.Health()
+	return serve.FeedHealth{
+		Status:     h.Status,
+		State:      h.State,
+		LastSeq:    h.LastSeq,
+		LastUpdate: h.LastUpdate,
+		Staleness:  h.Staleness,
+		Updates:    h.Updates,
+		Reconnects: h.Reconnects,
+		Snapshots:  h.Snapshots,
+	}
+}
+
+// startLive attaches the streaming feed to the server: snapshots from
+// the Ingestor swap in through the zero-downtime install path, reload
+// is disabled (the feed owns the snapshot), and /v1/health plus the
+// feed gauges report staleness. A dying feed only degrades the
+// service — the daemon keeps serving the last good snapshot.
+func startLive(ctx context.Context, cfg *config, srv *serve.Server) error {
+	srv.DisableReload("live mode: snapshots are installed from the feed")
+	live, err := bgpintent.StartLive(ctx, bgpintent.LiveOptions{
+		Seed:     cfg.liveSeed,
+		Days:     cfg.liveDays,
+		Small:    cfg.liveSmall,
+		Loop:     cfg.liveLoop,
+		Interval: cfg.liveInterval,
+
+		FaultRate:  cfg.faultRate,
+		FaultSeed:  cfg.faultSeed,
+		FaultStall: cfg.faultStall,
+
+		Params: bgpintent.Params{MinGap: cfg.gap, RatioThreshold: cfg.ratio, Parallelism: cfg.par},
+
+		WindowSpan:    cfg.windowSpan,
+		WindowBuckets: cfg.windowBuckets,
+
+		ReadTimeout: cfg.feedReadTO,
+		StaleAfter:  cfg.staleAfter,
+		RetryBudget: cfg.retryBudget,
+
+		SnapshotEvery:    cfg.snapEvery,
+		SnapshotInterval: cfg.snapInterval,
+
+		OnSnapshot: func(res *bgpintent.Result, info bgpintent.SnapshotInfo, lastSeq uint64) {
+			snap := srv.Install(res, info, fmt.Sprintf("live:seq=%d", lastSeq), 0)
+			log.Printf("installed snapshot gen %d (feed seq %d, %d tuples)",
+				snap.Gen, lastSeq, info.Tuples)
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	srv.SetFeed(feedAdapter{live})
+	go func() {
+		switch err := live.Wait(); {
+		case err == nil:
+			log.Printf("live feed ended; serving the final snapshot")
+		case ctx.Err() != nil:
+			// Shutdown; the HTTP drain path logs its own exit.
+		default:
+			log.Printf("live feed abandoned (%v); serving the last good snapshot", err)
+		}
+	}()
+	return nil
 }
 
 func expand(glob string) ([]string, error) {

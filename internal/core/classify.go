@@ -259,7 +259,11 @@ const cancelCheckStride = 4096
 // per-community slices — allocation is O(workers + rows), not O(pairs).
 // When done closes mid-build, workers stop early and the (partial)
 // result must be discarded by the caller.
-func buildCommIndex(ts *TupleStore, opts Options, workers int, done <-chan struct{}) (commIndex, bitset) {
+//
+// A non-nil dirty set restricts the index to communities whose α is in
+// it (the ClassifyDelta path); the observed-path bitset always covers
+// every tuple, because on-path exclusion evidence is global.
+func buildCommIndex(ts *TupleStore, opts Options, workers int, done <-chan struct{}, dirty map[uint16]bool) (commIndex, bitset) {
 	tuples := ts.Tuples()
 	pathSeen := newBitset(ts.PathCount())
 	pairParts := make([][]uint64, workers)
@@ -278,6 +282,9 @@ func buildCommIndex(ts *TupleStore, opts Options, workers int, done <-chan struc
 			pid := uint32(t.PathID)
 			seen.set(pid)
 			for _, c := range ts.TupleComms(t) {
+				if dirty != nil && !dirty[c.ASN()] {
+					continue
+				}
 				pairs = append(pairs, uint64(c)<<32|uint64(pid))
 			}
 		}
@@ -385,7 +392,7 @@ func ObserveContext(ctx context.Context, ts *TupleStore, opts Options) (*Observa
 		}
 	}, func(ctx context.Context) error {
 		var err error
-		os, err = observe(ctx, ts, opts)
+		os, err = observe(ctx, ts, opts, nil)
 		return err
 	})
 	if err != nil {
@@ -394,7 +401,10 @@ func ObserveContext(ctx context.Context, ts *TupleStore, opts Options) (*Observa
 	return os, nil
 }
 
-func observe(ctx context.Context, ts *TupleStore, opts Options) (*ObservationSet, error) {
+// observe computes the observation set; a non-nil dirty set restricts
+// the per-community stats to αs in it while keeping the global on-path
+// ASN/org evidence complete (see ClassifyDelta).
+func observe(ctx context.Context, ts *TupleStore, opts Options, dirty map[uint16]bool) (*ObservationSet, error) {
 	os := &ObservationSet{
 		asnOnPath: make(map[uint32]bool),
 		orgOnPath: make(map[string]bool),
@@ -410,7 +420,7 @@ func observe(ctx context.Context, ts *TupleStore, opts Options) (*ObservationSet
 	// Pass 1: build the CSR community→path index and the observed-path
 	// bitset, then derive the on-path ASN/org sets from the distinct
 	// observed paths (each path visited exactly once).
-	idx, pathSeen := buildCommIndex(ts, opts, workers, done)
+	idx, pathSeen := buildCommIndex(ts, opts, workers, done, dirty)
 	if chClosed(done) {
 		return nil, ctx.Err()
 	}

@@ -1,0 +1,116 @@
+// Incremental reclassification: the streaming path calls ClassifyDelta
+// with the set of dirty αs — the ASes whose evidence changed since the
+// previous classification — so only their clusters re-run the
+// observe/cluster/ratio/classify stages; every clean α reuses its
+// clusters from the previous Inferences verbatim.
+package core
+
+import (
+	"cmp"
+	"context"
+	"slices"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+	"bgpintent/internal/obs"
+)
+
+// deltaCompatible reports whether two option sets classify under the
+// same regime, so previous clusters remain valid for clean αs.
+func deltaCompatible(a, b Options) bool {
+	return a.MinGap == b.MinGap &&
+		a.RatioThreshold == b.RatioThreshold &&
+		a.DisableExclusions == b.DisableExclusions &&
+		a.PooledRatio == b.PooledRatio
+}
+
+// ClassifyDelta reclassifies only the dirty αs against the current
+// store, merging with prev for every other α. The result is identical
+// to ClassifyContext(ctx, ts, opts) provided dirty covers every α
+// whose evidence changed: the α of every community added to or evicted
+// from the store since prev, plus every 16-bit ASN whose presence in
+// the observed path set flipped (never-on-path exclusions depend on
+// it). The stream.Window tracks exactly that set.
+//
+// Falls back to a full classification when prev is nil, when the
+// classification options changed, or when sibling awareness
+// (opts.Orgs) is enabled — an org flip can dirty sibling αs the caller
+// cannot see, so the conservative path is the correct one.
+//
+// A nil dirty set with a valid prev means nothing changed; prev is
+// returned as-is.
+func ClassifyDelta(ctx context.Context, ts *TupleStore, opts Options, prev *Inferences, dirty map[uint16]bool) (*Inferences, error) {
+	if prev == nil || opts.Orgs != nil || !deltaCompatible(opts, prev.Opts) {
+		return ClassifyContext(ctx, ts, opts)
+	}
+	if len(dirty) == 0 {
+		return prev, nil
+	}
+
+	// Observe only the dirty αs' communities (the CSR build skips clean
+	// pairs before the sort/merge); on-path evidence stays global.
+	var os *ObservationSet
+	err := opts.Tracer.Stage(ctx, obs.StageObserve, "", func(s *obs.Span) {
+		s.Tuples = int64(len(ts.Tuples()))
+		if os != nil {
+			s.Records = int64(len(os.Stats))
+		}
+	}, func(ctx context.Context) error {
+		var err error
+		os, err = observe(ctx, ts, opts, dirty)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Cluster/ratio/classify the dirty αs alone.
+	sub, err := ClassifyObservedContext(ctx, os, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge: clean αs keep their previous clusters and exclusions
+	// (shared, immutable), dirty αs take the fresh ones.
+	merged := &Inferences{
+		Labels:   make(map[bgp.Community]dict.Category, len(prev.Labels)),
+		Excluded: make(map[bgp.Community]ExcludeReason, len(prev.Excluded)),
+		Opts:     opts,
+	}
+	merged.Clusters = make([]Cluster, 0, len(prev.Clusters)+len(sub.Clusters))
+	for i := range prev.Clusters {
+		if !dirty[prev.Clusters[i].Alpha] {
+			merged.Clusters = append(merged.Clusters, prev.Clusters[i])
+		}
+	}
+	merged.Clusters = append(merged.Clusters, sub.Clusters...)
+	// ClassifyContext emits clusters in (α, Lo) order; restore it so a
+	// delta-maintained result is byte-identical to a batch one.
+	slices.SortFunc(merged.Clusters, func(a, b Cluster) int {
+		if a.Alpha != b.Alpha {
+			return cmp.Compare(a.Alpha, b.Alpha)
+		}
+		return cmp.Compare(a.Lo, b.Lo)
+	})
+	for i := range merged.Clusters {
+		cl := &merged.Clusters[i]
+		for _, m := range cl.Members {
+			merged.Labels[m.Comm] = cl.Label
+		}
+	}
+
+	excludedStats := make(map[bgp.Community]CommunityStats, len(prev.Excluded))
+	for c, reason := range prev.Excluded {
+		if dirty[c.ASN()] {
+			continue
+		}
+		merged.Excluded[c] = reason
+		excludedStats[c] = prev.index[c].stats
+	}
+	for c, reason := range sub.Excluded {
+		merged.Excluded[c] = reason
+		excludedStats[c] = sub.index[c].stats
+	}
+	merged.buildIndex(excludedStats)
+	return merged, nil
+}

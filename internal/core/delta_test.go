@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bgpintent/internal/bgp"
+)
+
+// testOrgs is a map-backed OrgMapper.
+type testOrgs map[uint32]string
+
+func (m testOrgs) Org(asn uint32) (string, bool) {
+	o, ok := m[asn]
+	return o, ok
+}
+
+// deltaView is one synthetic observation a test corpus is made of.
+type deltaView struct {
+	vp    uint32
+	path  []uint32
+	comms bgp.Communities
+}
+
+// genDeltaViews produces a randomized corpus slice: paths over a small ASN
+// universe with communities whose αs are drawn from the path ASNs
+// (classifiable) and from ASNs never on any path (excludable), so every
+// classifier branch — action, information, private-ASN and
+// never-on-path exclusion — shows up.
+func genDeltaViews(rng *rand.Rand, n int) []deltaView {
+	views := make([]deltaView, 0, n)
+	for i := 0; i < n; i++ {
+		vp := uint32(1100 + rng.Intn(6))
+		hops := 2 + rng.Intn(3)
+		path := []uint32{vp}
+		for h := 0; h < hops; h++ {
+			path = append(path, uint32(100+rng.Intn(12)*100))
+		}
+		var comms bgp.Communities
+		for k := rng.Intn(3) + 1; k > 0; k-- {
+			var alpha uint16
+			switch rng.Intn(4) {
+			case 0: // α on this very path: strong on-path evidence
+				alpha = uint16(path[1+rng.Intn(len(path)-1)])
+			case 1: // α from the universe, on some paths but maybe not this one
+				alpha = uint16(100 + rng.Intn(12)*100)
+			case 2: // α never on any path (the universe stops at 1200)
+				alpha = uint16(5000 + rng.Intn(3))
+			default: // private ASN range
+				alpha = uint16(64512 + rng.Intn(3))
+			}
+			comms = append(comms, bgp.NewCommunity(alpha, uint16(rng.Intn(400))))
+		}
+		views = append(views, deltaView{vp: vp, path: path, comms: comms})
+	}
+	return views
+}
+
+func storeOf(views []deltaView) *TupleStore {
+	ts := NewTupleStore()
+	for _, v := range views {
+		ts.AddView(v.vp, v.path, v.comms)
+	}
+	return ts
+}
+
+// dirtyBetween computes the dirty-α set exactly the way stream.Window
+// does for a transition old → new: the α of every community on a view
+// present in one set but not the other, plus every 16-bit path ASN
+// whose presence in the path universe flipped.
+func dirtyBetween(old, new []deltaView) map[uint16]bool {
+	pathASNs := func(views []deltaView) map[uint32]bool {
+		m := make(map[uint32]bool)
+		for _, v := range views {
+			for _, a := range v.path {
+				m[a] = true
+			}
+		}
+		return m
+	}
+	dirty := make(map[uint16]bool)
+	// Views are value slices; compare by index identity: the tests only
+	// ever append to or truncate the shared backing corpus, so a view in
+	// exactly one of the two sets is one beyond the shorter prefix.
+	shorter, longer := old, new
+	if len(longer) < len(shorter) {
+		shorter, longer = longer, shorter
+	}
+	for _, v := range longer[len(shorter):] {
+		for _, c := range v.comms {
+			dirty[c.ASN()] = true
+		}
+	}
+	oldASNs, newASNs := pathASNs(old), pathASNs(new)
+	for a := range oldASNs {
+		if !newASNs[a] && a <= 0xFFFF {
+			dirty[uint16(a)] = true
+		}
+	}
+	for a := range newASNs {
+		if !oldASNs[a] && a <= 0xFFFF {
+			dirty[uint16(a)] = true
+		}
+	}
+	return dirty
+}
+
+// sameInf fails unless two Inferences agree on labels, clusters,
+// exclusions, and per-community lookups (which exercises the rebuilt
+// index and the stats carried for excluded communities).
+func sameInf(t *testing.T, ts *TupleStore, got, want *Inferences) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Labels, want.Labels) {
+		t.Fatalf("labels diverged: %d vs %d", len(got.Labels), len(want.Labels))
+	}
+	if !reflect.DeepEqual(got.Excluded, want.Excluded) {
+		t.Fatalf("exclusions diverged: %d vs %d", len(got.Excluded), len(want.Excluded))
+	}
+	if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Fatalf("clusters diverged: %d vs %d", len(got.Clusters), len(want.Clusters))
+	}
+	for _, comm := range ts.Communities() {
+		g, w := got.Lookup(comm), want.Lookup(comm)
+		if g.Observed != w.Observed || g.Category != w.Category ||
+			g.Reason != w.Reason || g.Stats != w.Stats {
+			t.Fatalf("lookup(%v) diverged: %+v vs %+v", comm, g, w)
+		}
+	}
+}
+
+func TestClassifyDeltaAdditionsEqualFull(t *testing.T) {
+	opts := DefaultOptions()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		corpus := genDeltaViews(rng, 300)
+		base := corpus[:200]
+
+		prev, err := ClassifyContext(context.Background(), storeOf(base), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Grow in two delta steps to also exercise delta-on-delta.
+		for _, cut := range []int{250, 300} {
+			grown := corpus[:cut]
+			ts := storeOf(grown)
+			dirty := dirtyBetween(base, grown)
+			got, err := ClassifyDelta(context.Background(), ts, opts, prev, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ClassifyContext(context.Background(), ts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameInf(t, ts, got, want)
+			base, prev = grown, got
+		}
+	}
+}
+
+func TestClassifyDeltaEvictionsEqualFull(t *testing.T) {
+	opts := DefaultOptions()
+	for seed := int64(10); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		corpus := genDeltaViews(rng, 300)
+
+		prev, err := ClassifyContext(context.Background(), storeOf(corpus), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Evict the tail third, as a rolling window dropping a bucket.
+		kept := corpus[:200]
+		ts := storeOf(kept)
+		dirty := dirtyBetween(corpus, kept)
+		got, err := ClassifyDelta(context.Background(), ts, opts, prev, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ClassifyContext(context.Background(), ts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameInf(t, ts, got, want)
+	}
+}
+
+func TestClassifyDeltaNoChangeReturnsPrev(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	views := genDeltaViews(rng, 100)
+	ts := storeOf(views)
+	prev, err := ClassifyContext(context.Background(), ts, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ClassifyDelta(context.Background(), ts, DefaultOptions(), prev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != prev {
+		t.Fatal("empty dirty set should return prev verbatim")
+	}
+}
+
+func TestClassifyDeltaFallsBackToFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	views := genDeltaViews(rng, 150)
+	ts := storeOf(views)
+	opts := DefaultOptions()
+	want, err := ClassifyContext(context.Background(), ts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// nil prev: full classification regardless of dirty.
+	got, err := ClassifyDelta(context.Background(), ts, opts, nil, map[uint16]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInf(t, ts, got, want)
+
+	// Changed options: prev is unusable, must fall back (and adopt the
+	// new options, not prev's).
+	prevOther, err := ClassifyContext(context.Background(), ts, Options{MinGap: 1, RatioThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ClassifyDelta(context.Background(), ts, opts, prevOther, map[uint16]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInf(t, ts, got, want)
+
+	// Sibling-aware mode: org flips can dirty αs the window cannot see,
+	// so delta always falls back when Orgs is set.
+	orgOpts := opts
+	orgOpts.Orgs = testOrgs{100: "org-a", 200: "org-a"}
+	wantOrg, err := ClassifyContext(context.Background(), ts, orgOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ClassifyDelta(context.Background(), ts, orgOpts, want, map[uint16]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInf(t, ts, got, wantOrg)
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// FeedHealth is a live feed's degradation-aware health report, rendered
+// at GET /v1/health and exported as Prometheus gauges. The serving
+// layer never interprets it beyond display: a stale or degraded feed
+// still serves the last good snapshot.
+type FeedHealth struct {
+	// Status is "healthy", "stale" (no fresh update within the staleness
+	// budget) or "degraded" (feed abandoned; serving the last snapshot).
+	Status string
+	// State is the feed connection state: connecting, live, down, ended.
+	State string
+	// LastSeq and LastUpdate identify the freshest applied feed update.
+	LastSeq    uint64
+	LastUpdate time.Time
+	// Staleness is the wall-clock age of LastUpdate.
+	Staleness time.Duration
+	// Updates, Reconnects, Snapshots are lifetime counters.
+	Updates    uint64
+	Reconnects uint64
+	Snapshots  uint64
+}
+
+// HealthSource reports live-feed health. A server without one is in
+// batch mode and always reports healthy.
+type HealthSource interface {
+	FeedHealth() FeedHealth
+}
+
+// SetFeed attaches a live-feed health source: /v1/health switches from
+// batch to live reporting and the feed gauges appear at /metrics.
+// Call at most once, before serving traffic.
+func (s *Server) SetFeed(hs HealthSource) {
+	s.feed = hs
+	s.metrics.registerFeed(hs.FeedHealth)
+}
+
+// registerFeed exports the live-feed gauges; scrapes read through fn.
+func (m *Metrics) registerFeed(fn func() FeedHealth) {
+	m.reg.GaugeFunc("intentd_feed_healthy",
+		"1 while the live feed is healthy, 0 when stale or degraded.", func() float64 {
+			if fn().Status == "healthy" {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("intentd_feed_connected",
+		"1 while a live-feed session is established and reading.", func() float64 {
+			if fn().State == "live" {
+				return 1
+			}
+			return 0
+		})
+	m.reg.GaugeFunc("intentd_feed_staleness_seconds",
+		"Age of the last applied feed update, in seconds.", func() float64 {
+			return fn().Staleness.Seconds()
+		})
+	m.reg.GaugeFunc("intentd_feed_last_seq",
+		"Sequence number of the last applied feed update.", func() float64 {
+			return float64(fn().LastSeq)
+		})
+	m.reg.GaugeFunc("intentd_feed_updates_total",
+		"Feed updates applied since start.", func() float64 {
+			return float64(fn().Updates)
+		})
+	m.reg.GaugeFunc("intentd_feed_reconnects_total",
+		"Feed reconnects since start.", func() float64 {
+			return float64(fn().Reconnects)
+		})
+	m.reg.GaugeFunc("intentd_feed_snapshots_total",
+		"Delta snapshots installed from the feed since start.", func() float64 {
+			return float64(fn().Snapshots)
+		})
+}
+
+// feedJSON renders FeedHealth in /v1/health.
+type feedJSON struct {
+	State            string  `json:"state"`
+	LastSeq          uint64  `json:"last_seq"`
+	LastUpdate       string  `json:"last_update"`
+	StalenessSeconds float64 `json:"staleness_seconds"`
+	Updates          uint64  `json:"updates"`
+	Reconnects       uint64  `json:"reconnects"`
+	Snapshots        uint64  `json:"snapshots"`
+}
+
+// healthResponse is the GET /v1/health body. The endpoint always
+// answers 200: liveness belongs to /healthz, and a degraded service
+// deliberately keeps serving — status reports data freshness, not
+// willingness.
+type healthResponse struct {
+	Status     string    `json:"status"`
+	Mode       string    `json:"mode"` // "batch" or "live"
+	Generation uint64    `json:"generation"`
+	BuiltAt    string    `json:"snapshot_built_at"`
+	Feed       *feedJSON `json:"feed,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.Snapshot()
+	resp := healthResponse{
+		Status:     "healthy",
+		Mode:       "batch",
+		Generation: snap.Gen,
+		BuiltAt:    snap.BuiltAt.UTC().Format(time.RFC3339),
+	}
+	if s.feed != nil {
+		fh := s.feed.FeedHealth()
+		resp.Status = fh.Status
+		resp.Mode = "live"
+		resp.Feed = &feedJSON{
+			State:            fh.State,
+			LastSeq:          fh.LastSeq,
+			LastUpdate:       fh.LastUpdate.UTC().Format(time.RFC3339Nano),
+			StalenessSeconds: fh.Staleness.Seconds(),
+			Updates:          fh.Updates,
+			Reconnects:       fh.Reconnects,
+			Snapshots:        fh.Snapshots,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -35,7 +35,7 @@ const maxAnnotateItems = 65536
 
 // endpointNames are the instrumented endpoint keys in /v1/metrics and
 // the endpoint label values at /metrics.
-var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload"}
+var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload", "health"}
 
 // Server is the intentd HTTP core: an atomic current snapshot, a
 // builder to replace it, and the instrumented mux.
@@ -47,10 +47,31 @@ type Server struct {
 	logf    func(format string, args ...any)
 	mux     *http.ServeMux
 
+	// feed, when set, switches /v1/health to live-feed reporting; set
+	// once via SetFeed before serving.
+	feed HealthSource
+
 	// reloadMu serializes builds: concurrent reload requests queue
 	// rather than racing to install snapshots out of order. Readers
 	// never touch it.
 	reloadMu sync.Mutex
+
+	// reloadDisabled, when non-nil, rejects Reload with its reason —
+	// live mode owns snapshot installation and a builder-driven reload
+	// would clobber the streamed state.
+	reloadDisabled atomic.Pointer[string]
+}
+
+// ErrReloadDisabled is wrapped into Reload's error after DisableReload;
+// the HTTP layer maps it to 409 Conflict.
+var ErrReloadDisabled = errors.New("reload disabled")
+
+// DisableReload makes every future Reload (HTTP or SIGHUP) fail with
+// ErrReloadDisabled and the given reason, without touching the served
+// snapshot. Used in live mode, where the feed Ingestor owns snapshot
+// installation via Install.
+func (s *Server) DisableReload(reason string) {
+	s.reloadDisabled.Store(&reason)
 }
 
 // New constructs a server and installs its first snapshot by running
@@ -80,6 +101,7 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	s.mux.HandleFunc("GET /v1/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /metrics", s.instrument("prometheus", s.handlePrometheus))
 	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /v1/health", s.instrument("health", s.handleHealth))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -100,6 +122,9 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 // snapshot in full — never a mix. On error the old snapshot stays
 // installed and keeps serving.
 func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
+	if reason := s.reloadDisabled.Load(); reason != nil {
+		return nil, fmt.Errorf("%w: %s", ErrReloadDisabled, *reason)
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 
@@ -116,6 +141,19 @@ func (s *Server) Reload(ctx context.Context) (*Snapshot, error) {
 	s.metrics.setSnapshot(snap)
 	s.logf("installed snapshot %v in %v", snap, snap.BuildDuration.Round(time.Millisecond))
 	return snap, nil
+}
+
+// Install atomically swaps in a snapshot built outside the builder —
+// the live-mode path, where the stream Ingestor produces results and
+// the builder never runs again. Queries observe either the old or the
+// new snapshot in full, exactly as with Reload.
+func (s *Server) Install(res *bgpintent.Result, info bgpintent.SnapshotInfo, source string, buildDuration time.Duration) *Snapshot {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	snap := NewSnapshot(s.gen.Add(1), res, info, source, buildDuration)
+	s.snap.Store(snap)
+	s.metrics.setSnapshot(snap)
+	return snap
 }
 
 // instrument wraps a handler with the per-endpoint counters.
@@ -408,7 +446,11 @@ type reloadResponse struct {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.Reload(r.Context())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "reload failed: %v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrReloadDisabled) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "reload failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, reloadResponse{
@@ -428,11 +470,40 @@ type ServeConfig struct {
 	// OnListen, if set, receives the bound address before serving
 	// starts (useful with port 0).
 	OnListen func(addr net.Addr)
+
+	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden the listener
+	// against slow-loris clients and idle-connection pileups. 0 means
+	// the package default; negative disables that timeout.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
 }
 
 // DefaultDrainTimeout is how long a shutting-down server waits for
 // in-flight requests before closing their connections.
 const DefaultDrainTimeout = 10 * time.Second
+
+// Default HTTP hardening timeouts: generous for the API's small
+// request bodies, strict enough that a stalled client cannot pin a
+// connection (and its goroutine) indefinitely.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+// timeoutOrDefault resolves the 0-default / negative-disabled
+// convention of ServeConfig timeouts.
+func timeoutOrDefault(v, def time.Duration) time.Duration {
+	switch {
+	case v < 0:
+		return 0
+	case v == 0:
+		return def
+	default:
+		return v
+	}
+}
 
 // ListenAndServe runs the HTTP server until ctx is canceled, then
 // shuts down gracefully: the listener closes immediately, in-flight
@@ -451,7 +522,12 @@ func (s *Server) ListenAndServe(ctx context.Context, cfg ServeConfig) error {
 		drain = DefaultDrainTimeout
 	}
 
-	srv := &http.Server{Handler: s}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: timeoutOrDefault(cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       timeoutOrDefault(cfg.ReadTimeout, DefaultReadTimeout),
+		IdleTimeout:       timeoutOrDefault(cfg.IdleTimeout, DefaultIdleTimeout),
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind is one class of injected stream fault, mirroring how live
+// BGP feeds actually fail (session resets, silent stalls, framing
+// corruption, and the duplicate/reordered deliveries a recovering
+// broker produces).
+type FaultKind int
+
+const (
+	// FaultDisconnect drops the session: Recv returns ErrDisconnected.
+	FaultDisconnect FaultKind = iota
+	// FaultStall blocks Recv for StallFor (or until ctx is done) before
+	// delivering — the silent-hang failure a read deadline must catch.
+	FaultStall
+	// FaultCorrupt consumes one update from the clean feed but delivers
+	// ErrCorruptFrame instead: the update is lost in transit and only
+	// the resume protocol can recover it.
+	FaultCorrupt
+	// FaultDuplicate re-delivers the previous update (same Seq).
+	FaultDuplicate
+	// FaultReorder swaps two adjacent deliveries.
+	FaultReorder
+
+	numFaultKinds
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDisconnect:
+		return "disconnect"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultReorder:
+		return "reorder"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// AllFaultKinds returns every fault kind.
+func AllFaultKinds() []FaultKind {
+	out := make([]FaultKind, numFaultKinds)
+	for i := range out {
+		out[i] = FaultKind(i)
+	}
+	return out
+}
+
+// FaultConfig controls injection.
+type FaultConfig struct {
+	// Seed drives every random choice. Session n uses Seed+n, so each
+	// reconnect sees a fresh — but replayable — fault pattern, and a
+	// delivery that was corrupted once is not doomed to corrupt forever.
+	Seed int64
+	// Rate is the per-delivery fault probability in [0, 1].
+	Rate float64
+	// Kinds restricts the injected faults; nil means all kinds.
+	Kinds []FaultKind
+	// StallFor is how long FaultStall blocks; 0 means 2× a typical test
+	// read deadline is NOT assumed — it defaults to one second.
+	StallFor time.Duration
+}
+
+// FaultStats counts injected faults; all fields are atomic so health
+// endpoints and tests may read them while the feed runs.
+type FaultStats struct {
+	Disconnects atomic.Uint64
+	Stalls      atomic.Uint64
+	Corrupts    atomic.Uint64
+	Duplicates  atomic.Uint64
+	Reorders    atomic.Uint64
+}
+
+// Total returns the sum of all injected faults.
+func (fs *FaultStats) Total() uint64 {
+	return fs.Disconnects.Load() + fs.Stalls.Load() + fs.Corrupts.Load() +
+		fs.Duplicates.Load() + fs.Reorders.Load()
+}
+
+// FaultSource wraps a clean Source with deterministic fault injection.
+// The wrapped sessions honor the resume protocol (Connect(after) is
+// forwarded untouched), so an Ingestor consuming a FaultSource must
+// converge to exactly the clean stream's content — that is the whole
+// test.
+type FaultSource struct {
+	inner    Source
+	cfg      FaultConfig
+	Stats    FaultStats
+	connects atomic.Int64
+}
+
+// NewFaultSource wraps src.
+func NewFaultSource(src Source, cfg FaultConfig) *FaultSource {
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = AllFaultKinds()
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = time.Second
+	}
+	return &FaultSource{inner: src, cfg: cfg}
+}
+
+// Connect opens a faulty session over the clean source.
+func (f *FaultSource) Connect(ctx context.Context, after uint64) (Session, error) {
+	inner, err := f.inner.Connect(ctx, after)
+	if err != nil {
+		return nil, err
+	}
+	n := f.connects.Add(1)
+	return &faultSession{
+		src:   f,
+		inner: inner,
+		rng:   rand.New(rand.NewSource(f.cfg.Seed + n)),
+	}, nil
+}
+
+// faultSession injects faults on the Recv path. Not safe for
+// concurrent Recv (neither are clean sessions).
+type faultSession struct {
+	src   *FaultSource
+	inner Session
+	rng   *rand.Rand
+
+	pending []Update // reorder stash, delivered before new reads
+	last    *Update  // previous delivery, for duplicates
+	dead    bool
+}
+
+func (s *faultSession) Recv(ctx context.Context) (Update, error) {
+	if s.dead {
+		return Update{}, ErrDisconnected
+	}
+	// A reorder stash is delivered first, fault-free: the swap already
+	// happened when it was stashed.
+	if len(s.pending) > 0 {
+		u := s.pending[0]
+		s.pending = s.pending[1:]
+		s.remember(u)
+		return u, nil
+	}
+	cfg := &s.src.cfg
+	if s.rng.Float64() >= cfg.Rate {
+		return s.recvClean(ctx)
+	}
+	switch kind := cfg.Kinds[s.rng.Intn(len(cfg.Kinds))]; kind {
+	case FaultDisconnect:
+		s.src.Stats.Disconnects.Add(1)
+		s.dead = true
+		s.inner.Close()
+		return Update{}, ErrDisconnected
+	case FaultStall:
+		s.src.Stats.Stalls.Add(1)
+		t := time.NewTimer(cfg.StallFor)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return Update{}, ctx.Err()
+		case <-t.C:
+		}
+		// A stall shorter than the consumer's read deadline resolves
+		// itself; deliver normally.
+		return s.recvClean(ctx)
+	case FaultCorrupt:
+		u, err := s.inner.Recv(ctx)
+		if err != nil {
+			return Update{}, err // nothing to corrupt at EOF/error
+		}
+		_ = u // consumed and lost in transit
+		s.src.Stats.Corrupts.Add(1)
+		return Update{}, ErrCorruptFrame
+	case FaultDuplicate:
+		if s.last != nil {
+			s.src.Stats.Duplicates.Add(1)
+			return *s.last, nil
+		}
+		return s.recvClean(ctx) // nothing delivered yet to duplicate
+	case FaultReorder:
+		u1, err := s.inner.Recv(ctx)
+		if err != nil {
+			return Update{}, err
+		}
+		u2, err := s.inner.Recv(ctx)
+		if err != nil {
+			// Feed ended under the swap; deliver what we have, in order.
+			s.remember(u1)
+			return u1, nil
+		}
+		s.src.Stats.Reorders.Add(1)
+		s.pending = append(s.pending, u1)
+		s.remember(u2)
+		return u2, nil
+	default:
+		return s.recvClean(ctx)
+	}
+}
+
+func (s *faultSession) recvClean(ctx context.Context) (Update, error) {
+	u, err := s.inner.Recv(ctx)
+	if err != nil {
+		return Update{}, err
+	}
+	s.remember(u)
+	return u, nil
+}
+
+func (s *faultSession) remember(u Update) {
+	c := u
+	s.last = &c
+}
+
+func (s *faultSession) Close() error {
+	s.dead = true
+	return s.inner.Close()
+}

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"slices"
+	"testing"
+	"time"
+)
+
+// drainFaulty reads one faulty session to its end (EOF or session
+// death), recording delivered updates; non-terminal errors (corrupt
+// frames) are counted and skipped, mimicking a consumer that presses
+// on without the resume protocol.
+func drainFaulty(t *testing.T, src Source) (ups []Update, corrupts int) {
+	t.Helper()
+	ctx := context.Background()
+	sess, err := src.Connect(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for {
+		u, err := sess.Recv(ctx)
+		switch {
+		case err == nil:
+			ups = append(ups, u)
+		case errors.Is(err, ErrCorruptFrame):
+			corrupts++
+		case errors.Is(err, io.EOF), errors.Is(err, ErrDisconnected):
+			return ups, corrupts
+		default:
+			t.Fatalf("Recv: %v", err)
+		}
+	}
+}
+
+func TestFaultSourceDeterministic(t *testing.T) {
+	run := func() ([]Update, uint64) {
+		fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+			FaultConfig{Seed: 7, Rate: 0.2, StallFor: time.Millisecond})
+		ups, _ := drainFaulty(t, fs)
+		return ups, fs.Stats.Total()
+	}
+	a, atot := run()
+	b, btot := run()
+	if atot != btot || !sameUpdates(a, b) {
+		t.Fatalf("same seed produced different fault patterns: %d/%d faults, %d/%d updates",
+			atot, btot, len(a), len(b))
+	}
+}
+
+func TestFaultSourceSeedVariesBySession(t *testing.T) {
+	// Session n is seeded Seed+n: a reconnect must redraw its faults,
+	// otherwise a deterministic corrupt-at-seq-k would repeat forever
+	// and resume could never make progress past it.
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 3, Rate: 0.3, Kinds: []FaultKind{FaultCorrupt}})
+	a, ca := drainFaulty(t, fs)
+	b, cb := drainFaulty(t, fs)
+	if len(a) == len(b) && ca == cb && sameUpdates(a, b) {
+		t.Fatal("two sessions drew identical fault patterns; reconnects would never recover")
+	}
+}
+
+func TestFaultCorruptConsumesExactlyOne(t *testing.T) {
+	clean := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 11, Rate: 0.25, Kinds: []FaultKind{FaultCorrupt}})
+	ups, corrupts := drainFaulty(t, fs)
+	if corrupts == 0 {
+		t.Fatal("no corrupt frames injected at 25% rate")
+	}
+	if got, want := len(ups)+corrupts, len(clean); got != want {
+		t.Fatalf("corrupt frame consumed %d updates total, want exactly one each: delivered %d + corrupt %d != %d",
+			want-len(ups), len(ups), corrupts, want)
+	}
+	if int(fs.Stats.Corrupts.Load()) != corrupts {
+		t.Fatalf("Stats.Corrupts = %d, observed %d", fs.Stats.Corrupts.Load(), corrupts)
+	}
+}
+
+func TestFaultDuplicateRedelivers(t *testing.T) {
+	clean := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 5, Rate: 0.25, Kinds: []FaultKind{FaultDuplicate}})
+	ups, _ := drainFaulty(t, fs)
+	if fs.Stats.Duplicates.Load() == 0 {
+		t.Fatal("no duplicates injected at 25% rate")
+	}
+	var dedup []Update
+	for _, u := range ups {
+		if len(dedup) > 0 && dedup[len(dedup)-1].Seq == u.Seq {
+			continue
+		}
+		dedup = append(dedup, u)
+	}
+	if !sameUpdates(dedup, clean) {
+		t.Fatalf("deduplicated faulty stream != clean stream (%d vs %d)", len(dedup), len(clean))
+	}
+}
+
+func TestFaultReorderPermutes(t *testing.T) {
+	clean := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 9, Rate: 0.25, Kinds: []FaultKind{FaultReorder}})
+	ups, _ := drainFaulty(t, fs)
+	if fs.Stats.Reorders.Load() == 0 {
+		t.Fatal("no reorders injected at 25% rate")
+	}
+	if slices.IsSortedFunc(ups, func(a, b Update) int {
+		return int(int64(a.Seq) - int64(b.Seq))
+	}) {
+		t.Fatal("reorder fault delivered a fully ordered stream")
+	}
+	slices.SortFunc(ups, func(a, b Update) int { return int(int64(a.Seq) - int64(b.Seq)) })
+	if !sameUpdates(ups, clean) {
+		t.Fatalf("reordered stream is not a permutation of the clean one (%d vs %d)", len(ups), len(clean))
+	}
+}
+
+func TestFaultDisconnectKillsSession(t *testing.T) {
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1, Loop: true}),
+		FaultConfig{Seed: 1, Rate: 0.1, Kinds: []FaultKind{FaultDisconnect}})
+	sess, err := fs.Connect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for i := 0; ; i++ {
+		if i > 10000 {
+			t.Fatal("no disconnect injected in 10000 reads at 10% rate")
+		}
+		if _, err := sess.Recv(context.Background()); err != nil {
+			if !errors.Is(err, ErrDisconnected) {
+				t.Fatalf("want ErrDisconnected, got %v", err)
+			}
+			break
+		}
+	}
+	// The session is dead: every further Recv fails the same way.
+	if _, err := sess.Recv(context.Background()); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("dead session revived: %v", err)
+	}
+}
+
+func TestFaultStallHonorsContext(t *testing.T) {
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 2, Rate: 1, Kinds: []FaultKind{FaultStall}, StallFor: time.Minute})
+	sess, err := fs.Connect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := sess.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from stalled Recv, got %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("stall ignored context deadline")
+	}
+}
+
+func TestFaultStallShortResolvesItself(t *testing.T) {
+	fs := NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		FaultConfig{Seed: 2, Rate: 1, Kinds: []FaultKind{FaultStall}, StallFor: time.Millisecond})
+	sess, err := fs.Connect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	u, err := sess.Recv(context.Background())
+	if err != nil || u.Seq != 1 {
+		t.Fatalf("short stall should deliver: seq=%d err=%v", u.Seq, err)
+	}
+	if fs.Stats.Stalls.Load() == 0 {
+		t.Fatal("stall not counted")
+	}
+}

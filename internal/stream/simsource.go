@@ -1,0 +1,167 @@
+package stream
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+
+	"bgpintent/internal/simulate"
+)
+
+// simDay is how much feed time one simulated day spans.
+const simDay = 24 * time.Hour
+
+// DefaultEpoch is the feed time of day 0 when SimConfig.Epoch is zero.
+var DefaultEpoch = time.Unix(1_600_000_000, 0).UTC()
+
+// SimConfig controls the simulator-backed feed.
+type SimConfig struct {
+	// Days is how many distinct simulated days the feed covers (>= 1).
+	Days int
+	// Loop replays the days forever after the last one, with sequence
+	// numbers and feed time continuing to advance — an endless feed for
+	// long-running daemons. Without it the feed ends in io.EOF.
+	Loop bool
+	// Interval paces deliveries in wall-clock time (one update per
+	// Interval); 0 delivers as fast as the consumer reads.
+	Interval time.Duration
+	// Epoch is the feed time of day 0; zero means DefaultEpoch.
+	Epoch time.Time
+}
+
+// SimSource adapts the route-propagation simulator into a resumable
+// live feed: every vantage-point view of every simulated day becomes
+// one timestamped, sequence-numbered update, spread evenly through its
+// day. Day results are generated lazily and cached, so reconnecting
+// and resuming from any sequence number is cheap and — like the
+// simulator itself — fully deterministic: equal (simulator, config)
+// yield byte-equal update streams, however often sessions reconnect.
+type SimSource struct {
+	sim *simulate.Simulator
+	cfg SimConfig
+
+	mu   sync.Mutex
+	days [][]simulate.View // day index (mod Days) -> cached views
+	cum  []uint64          // cum[d] = updates before absolute day d
+}
+
+// NewSimSource wraps a simulator as a Source. Days below 1 is treated
+// as 1.
+func NewSimSource(sim *simulate.Simulator, cfg SimConfig) *SimSource {
+	if cfg.Days < 1 {
+		cfg.Days = 1
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = DefaultEpoch
+	}
+	return &SimSource{sim: sim, cfg: cfg, cum: []uint64{0}}
+}
+
+// dayViews returns (and caches) the views of one absolute day.
+func (s *SimSource) dayViews(absDay int) []simulate.View {
+	gen := absDay % s.cfg.Days
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.days) <= gen {
+		s.days = append(s.days, s.sim.RunDay(len(s.days)).Views)
+	}
+	return s.days[gen]
+}
+
+// startSeq returns how many updates precede absolute day d, extending
+// the cumulative index (and the day cache) as needed.
+func (s *SimSource) startSeq(d int) uint64 {
+	for {
+		s.mu.Lock()
+		n := len(s.cum)
+		if d < n {
+			c := s.cum[d]
+			s.mu.Unlock()
+			return c
+		}
+		s.mu.Unlock()
+		// Generate the next missing day outside cum's critical section
+		// (dayViews takes the lock itself).
+		views := s.dayViews(n - 1)
+		s.mu.Lock()
+		if len(s.cum) == n { // lost races are benign: recompute
+			s.cum = append(s.cum, s.cum[n-1]+uint64(len(views)))
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Connect opens a session delivering every update with Seq > after.
+func (s *SimSource) Connect(ctx context.Context, after uint64) (Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Locate the day containing sequence number after+1.
+	day := 0
+	for {
+		if !s.cfg.Loop && day >= s.cfg.Days {
+			break // session starts at EOF
+		}
+		if s.startSeq(day+1) > after {
+			break
+		}
+		day++
+	}
+	return &simSession{src: s, day: day, idx: int(after - s.startSeq(day))}, nil
+}
+
+// simSession is one cursor over the cached update stream.
+type simSession struct {
+	src  *SimSource
+	day  int // absolute day
+	idx  int // next view index within day
+	done bool
+}
+
+func (ss *simSession) Recv(ctx context.Context) (Update, error) {
+	if ss.done {
+		return Update{}, io.EOF
+	}
+	cfg := ss.src.cfg
+	var views []simulate.View
+	for {
+		if !cfg.Loop && ss.day >= cfg.Days {
+			ss.done = true
+			return Update{}, io.EOF
+		}
+		views = ss.src.dayViews(ss.day)
+		if ss.idx < len(views) {
+			break
+		}
+		ss.day++ // also skips (unlikely) empty days
+		ss.idx = 0
+	}
+	if cfg.Interval > 0 {
+		t := time.NewTimer(cfg.Interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return Update{}, ctx.Err()
+		case <-t.C:
+		}
+	} else if err := ctx.Err(); err != nil {
+		return Update{}, err
+	}
+	v := &views[ss.idx]
+	u := Update{
+		Seq:        ss.src.startSeq(ss.day) + uint64(ss.idx) + 1,
+		Time:       cfg.Epoch.Add(time.Duration(ss.day)*simDay + time.Duration(ss.idx)*(simDay/time.Duration(len(views)))),
+		VP:         v.VP,
+		Path:       v.Path,
+		Comms:      v.Comms,
+		LargeComms: v.LargeComms,
+	}
+	ss.idx++
+	return u, nil
+}
+
+func (ss *simSession) Close() error {
+	ss.done = true
+	return nil
+}

@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"bgpintent/internal/simulate"
+	"bgpintent/internal/topology"
+)
+
+// newTestSim builds a fresh tiny simulator; equal configs yield
+// byte-equal simulators, which the determinism tests rely on.
+func newTestSim(t *testing.T) *simulate.Simulator {
+	t.Helper()
+	topo, err := topology.Generate(topology.TinyConfig())
+	if err != nil {
+		t.Fatalf("topology.Generate: %v", err)
+	}
+	return simulate.New(topo, simulate.TinyConfig())
+}
+
+// drain reads from src starting after the given sequence number until
+// io.EOF or max updates, failing the test on any other error.
+func drain(t *testing.T, src Source, after uint64, max int) []Update {
+	t.Helper()
+	ctx := context.Background()
+	sess, err := src.Connect(ctx, after)
+	if err != nil {
+		t.Fatalf("Connect(after=%d): %v", after, err)
+	}
+	defer sess.Close()
+	var out []Update
+	for max <= 0 || len(out) < max {
+		u, err := sess.Recv(ctx)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Recv after %d updates: %v", len(out), err)
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+func sameUpdates(a, b []Update) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || !a[i].Time.Equal(b[i].Time) || a[i].VP != b[i].VP {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimSourceSeqDenseAndOrdered(t *testing.T) {
+	src := NewSimSource(newTestSim(t), SimConfig{Days: 2})
+	ups := drain(t, src, 0, 0)
+	if len(ups) == 0 {
+		t.Fatal("empty feed")
+	}
+	for i, u := range ups {
+		if u.Seq != uint64(i)+1 {
+			t.Fatalf("update %d has Seq %d, want %d (dense 1-based)", i, u.Seq, i+1)
+		}
+		if i > 0 && u.Time.Before(ups[i-1].Time) {
+			t.Fatalf("feed time went backwards at seq %d: %v < %v", u.Seq, u.Time, ups[i-1].Time)
+		}
+		if len(u.Path) == 0 {
+			t.Fatalf("seq %d has empty path", u.Seq)
+		}
+	}
+	// Day boundary: the feed covers two distinct days of feed time.
+	first, last := ups[0].Time, ups[len(ups)-1].Time
+	if last.Sub(first) < simDay {
+		t.Fatalf("two-day feed spans only %v", last.Sub(first))
+	}
+}
+
+func TestSimSourceDeterministic(t *testing.T) {
+	a := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 2}), 0, 0)
+	b := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 2}), 0, 0)
+	if !sameUpdates(a, b) {
+		t.Fatal("two identically-configured sources produced different streams")
+	}
+}
+
+func TestSimSourceResume(t *testing.T) {
+	src := NewSimSource(newTestSim(t), SimConfig{Days: 2})
+	full := drain(t, src, 0, 0)
+	n := len(full)
+	for _, cut := range []int{0, 1, n / 3, n / 2, n - 1, n} {
+		resumed := drain(t, src, uint64(cut), 0)
+		if want := full[cut:]; !sameUpdates(resumed, want) {
+			t.Fatalf("resume after seq %d: got %d updates, want %d starting at seq %d",
+				cut, len(resumed), len(want), cut+1)
+		}
+	}
+}
+
+func TestSimSourceEOFIsSticky(t *testing.T) {
+	src := NewSimSource(newTestSim(t), SimConfig{Days: 1})
+	sess, err := src.Connect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	for {
+		if _, err := sess.Recv(context.Background()); err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("want io.EOF, got %v", err)
+			}
+			break
+		}
+	}
+	if _, err := sess.Recv(context.Background()); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF not sticky: got %v", err)
+	}
+}
+
+func TestSimSourceLoop(t *testing.T) {
+	sim := newTestSim(t)
+	finite := drain(t, NewSimSource(sim, SimConfig{Days: 1}), 0, 0)
+	n := len(finite)
+	looped := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1, Loop: true}), 0, 2*n+n/2)
+	if len(looped) != 2*n+n/2 {
+		t.Fatalf("looped feed ended early: %d updates", len(looped))
+	}
+	for i, u := range looped {
+		if u.Seq != uint64(i)+1 {
+			t.Fatalf("looped seq not dense at %d: %d", i, u.Seq)
+		}
+		// Content repeats with period n; seq and feed time keep advancing.
+		base := finite[i%n]
+		if u.VP != base.VP {
+			t.Fatalf("looped update %d differs from day-0 update %d", i, i%n)
+		}
+		if i >= n && !u.Time.After(looped[i-n].Time) {
+			t.Fatalf("looped feed time did not advance across wrap at %d", i)
+		}
+	}
+}
+
+func TestSimSourceCancel(t *testing.T) {
+	src := NewSimSource(newTestSim(t), SimConfig{Days: 1, Loop: true, Interval: time.Hour})
+	sess, err := src.Connect(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := sess.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from paced Recv, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Recv ignored context cancellation")
+	}
+}

@@ -1,0 +1,236 @@
+package stream
+
+import (
+	"time"
+
+	"bgpintent/internal/core"
+)
+
+// WindowConfig controls the rolling time window over the tuple store.
+type WindowConfig struct {
+	// Span is the total window length in feed time: updates older than
+	// Span behind the newest bucket are evicted. 0 means an unbounded
+	// window (no eviction) — the batch semantics.
+	Span time.Duration
+	// Buckets is the eviction granularity: the window is Span split
+	// into this many buckets, dropped whole as feed time advances.
+	// Values below 2 are raised to 2 (newest + at least one aged).
+	Buckets int
+}
+
+// WindowStats are the window's corpus counters, used for snapshot
+// provenance.
+type WindowStats struct {
+	Updates          int // live (unevicted) updates
+	Evicted          uint64
+	Rebuilds         uint64 // store rebuilds (one per bucket eviction batch)
+	Tuples           int
+	Paths            int
+	VantagePoints    int
+	Communities      int
+	LargeCommunities int
+	DirtyAlphas      int // αs awaiting reclassification
+	// Oldest/Newest bound the live window in feed time; zero when empty.
+	Oldest, Newest time.Time
+}
+
+// Window is a rolling time window of updates feeding a columnar tuple
+// store incrementally. Adds go straight into the store (cheap,
+// allocation-light); when feed time advances past a bucket boundary,
+// whole buckets fall off the tail and the store is rebuilt from the
+// survivors — O(window), amortized once per bucket span.
+//
+// The window also tracks the dirty α set: every α whose classification
+// evidence may have changed since the last TakeDirty. That is (a) the
+// α of every community on an added or evicted update, and (b) every
+// 16-bit ASN whose presence in the observed path set flipped (first
+// live update containing it arrived, or last one left) — those flips
+// can change never-on-path exclusions for the α even when none of its
+// communities moved. Classification consumers re-run only the dirty
+// αs (core.ClassifyDelta) and reuse the previous result for the rest.
+//
+// Window is not safe for concurrent use; the Ingestor owns it from a
+// single goroutine and publishes immutable classification results.
+type Window struct {
+	cfg   WindowConfig
+	store *core.TupleStore
+
+	buckets []windowBucket
+	base    time.Time // start of buckets[0]; zero until the first add
+
+	dirty    map[uint16]struct{}
+	pathRefs map[uint32]int // live-update refcount per path ASN (flip detection)
+
+	evicted  uint64
+	rebuilds uint64
+}
+
+type windowBucket struct {
+	start   time.Time
+	updates []Update
+}
+
+// NewWindow returns an empty window.
+func NewWindow(cfg WindowConfig) *Window {
+	if cfg.Span > 0 && cfg.Buckets < 2 {
+		cfg.Buckets = 2
+	}
+	return &Window{
+		cfg:      cfg,
+		store:    core.NewTupleStore(),
+		dirty:    make(map[uint16]struct{}),
+		pathRefs: make(map[uint32]int),
+	}
+}
+
+// bucketSpan is the feed-time length of one bucket.
+func (w *Window) bucketSpan() time.Duration {
+	return w.cfg.Span / time.Duration(w.cfg.Buckets)
+}
+
+// Add applies one update: rotates/evicts buckets if the update's feed
+// time crossed a boundary, then feeds the store and the dirty set.
+// Updates are expected in roughly feed-time order (the sequence
+// protocol guarantees it); stragglers land in the newest bucket, which
+// only makes eviction conservative, never wrong.
+func (w *Window) Add(u Update) {
+	if w.cfg.Span > 0 {
+		w.rotate(u.Time)
+	} else if w.buckets == nil {
+		w.buckets = []windowBucket{{start: u.Time}}
+	}
+	b := &w.buckets[len(w.buckets)-1]
+	b.updates = append(b.updates, u)
+	w.apply(u)
+}
+
+// apply feeds one update into the store and marks what it dirtied.
+func (w *Window) apply(u Update) {
+	w.store.AddView(u.VP, u.Path, u.Comms)
+	w.store.NoteLarge(u.LargeComms)
+	for _, c := range u.Comms {
+		w.dirty[c.ASN()] = struct{}{}
+	}
+	for _, asn := range u.Path {
+		if w.pathRefs[asn]++; w.pathRefs[asn] == 1 && asn <= 0xFFFF {
+			w.dirty[uint16(asn)] = struct{}{} // newly on-path
+		}
+	}
+}
+
+// rotate advances the bucket ring to cover feed time t, evicting
+// buckets that fell out of the window and rebuilding the store when
+// any did.
+func (w *Window) rotate(t time.Time) {
+	span := w.bucketSpan()
+	if w.base.IsZero() {
+		w.base = t.Truncate(span)
+		w.buckets = append(w.buckets, windowBucket{start: w.base})
+		return
+	}
+	last := w.buckets[len(w.buckets)-1].start
+	if t.Before(last.Add(span)) {
+		return // stragglers and same-bucket updates: nothing to rotate
+	}
+	// Open buckets up to the one containing t. A jump past the whole
+	// window (a long stall, a looped feed wrapping) opens only the
+	// buckets that can survive — intermediate empties would all be
+	// evicted immediately anyway.
+	steps := int64(t.Sub(last) / span)
+	if skip := steps - int64(w.cfg.Buckets); skip > 0 {
+		last = last.Add(time.Duration(skip) * span)
+		steps = int64(w.cfg.Buckets)
+	}
+	for i := int64(1); i <= steps; i++ {
+		w.buckets = append(w.buckets, windowBucket{start: last.Add(time.Duration(i) * span)})
+	}
+	if len(w.buckets) <= w.cfg.Buckets {
+		return
+	}
+	// Evict whole buckets off the tail, then rebuild the store from the
+	// survivors: the columnar store dedups tuples and interns paths, so
+	// removal is a rebuild, amortized to once per bucket span.
+	evict := w.buckets[:len(w.buckets)-w.cfg.Buckets]
+	w.buckets = w.buckets[len(w.buckets)-w.cfg.Buckets:]
+	for _, b := range evict {
+		for i := range b.updates {
+			u := &b.updates[i]
+			w.evicted++
+			for _, c := range u.Comms {
+				w.dirty[c.ASN()] = struct{}{}
+			}
+			for _, asn := range u.Path {
+				if w.pathRefs[asn]--; w.pathRefs[asn] == 0 {
+					delete(w.pathRefs, asn)
+					if asn <= 0xFFFF {
+						w.dirty[uint16(asn)] = struct{}{} // no longer on-path
+					}
+				}
+			}
+		}
+	}
+	w.rebuilds++
+	w.store = core.NewTupleStore()
+	for bi := range w.buckets {
+		for i := range w.buckets[bi].updates {
+			u := &w.buckets[bi].updates[i]
+			w.store.AddView(u.VP, u.Path, u.Comms)
+			w.store.NoteLarge(u.LargeComms)
+		}
+	}
+}
+
+// Store exposes the live tuple store. The caller must not retain it
+// across Add calls that may rotate buckets (the store is replaced on
+// eviction); classify from the Ingestor goroutine only.
+func (w *Window) Store() *core.TupleStore { return w.store }
+
+// TakeDirty returns the accumulated dirty α set and resets it. A nil
+// map means nothing changed since the last call.
+func (w *Window) TakeDirty() map[uint16]bool {
+	if len(w.dirty) == 0 {
+		return nil
+	}
+	out := make(map[uint16]bool, len(w.dirty))
+	for a := range w.dirty {
+		out[a] = true
+	}
+	clear(w.dirty)
+	return out
+}
+
+// RestoreDirty re-marks αs as dirty — the undo for a TakeDirty whose
+// reclassification failed, so the next snapshot tick retries them.
+func (w *Window) RestoreDirty(d map[uint16]bool) {
+	for a := range d {
+		w.dirty[a] = struct{}{}
+	}
+}
+
+// Stats snapshots the window counters.
+func (w *Window) Stats() WindowStats {
+	st := WindowStats{
+		Evicted:          w.evicted,
+		Rebuilds:         w.rebuilds,
+		Tuples:           w.store.Len(),
+		Paths:            w.store.PathCount(),
+		VantagePoints:    len(w.store.VPSet()),
+		Communities:      len(w.store.Communities()),
+		LargeCommunities: w.store.LargeCommunityCount(),
+		DirtyAlphas:      len(w.dirty),
+	}
+	for bi := range w.buckets {
+		b := &w.buckets[bi]
+		st.Updates += len(b.updates)
+		for i := range b.updates {
+			t := b.updates[i].Time
+			if st.Oldest.IsZero() || t.Before(st.Oldest) {
+				st.Oldest = t
+			}
+			if t.After(st.Newest) {
+				st.Newest = t
+			}
+		}
+	}
+	return st
+}

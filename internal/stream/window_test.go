@@ -1,0 +1,188 @@
+package stream
+
+import (
+	"slices"
+	"testing"
+	"time"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/core"
+)
+
+// wu builds a synthetic update for window tests: one VP, a path, and
+// communities given as (asn, value) pairs.
+func wu(seq uint64, at time.Time, path []uint32, comms ...uint32) Update {
+	cs := make(bgp.Communities, 0, len(comms)/2)
+	for i := 0; i+1 < len(comms); i += 2 {
+		cs = append(cs, bgp.NewCommunity(uint16(comms[i]), uint16(comms[i+1])))
+	}
+	return Update{Seq: seq, Time: at, VP: path[0], Path: path, Comms: cs}
+}
+
+// refStore rebuilds a tuple store from scratch out of updates — the
+// oracle an incrementally-maintained window store must match.
+func refStore(ups []Update) *core.TupleStore {
+	ts := core.NewTupleStore()
+	for _, u := range ups {
+		ts.AddView(u.VP, u.Path, u.Comms)
+		ts.NoteLarge(u.LargeComms)
+	}
+	return ts
+}
+
+// sameStore compares the observable content of two tuple stores.
+func sameStore(t *testing.T, got, want *core.TupleStore) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("tuples: got %d, want %d", got.Len(), want.Len())
+	}
+	if got.PathCount() != want.PathCount() {
+		t.Fatalf("paths: got %d, want %d", got.PathCount(), want.PathCount())
+	}
+	gc, wc := got.Communities(), want.Communities()
+	slices.Sort(gc)
+	slices.Sort(wc)
+	if !slices.Equal(gc, wc) {
+		t.Fatalf("community sets differ: got %d, want %d", len(gc), len(wc))
+	}
+	gv, wv := got.VPSet(), want.VPSet()
+	slices.Sort(gv)
+	slices.Sort(wv)
+	if !slices.Equal(gv, wv) {
+		t.Fatalf("VP sets differ: %d vs %d", len(gv), len(wv))
+	}
+}
+
+func TestWindowUnboundedMatchesBatch(t *testing.T) {
+	w := NewWindow(WindowConfig{}) // Span 0: no eviction
+	ups := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+	for _, u := range ups {
+		w.Add(u)
+	}
+	sameStore(t, w.Store(), refStore(ups))
+	st := w.Stats()
+	if st.Evicted != 0 || st.Rebuilds != 0 {
+		t.Fatalf("unbounded window evicted %d / rebuilt %d times", st.Evicted, st.Rebuilds)
+	}
+	if st.Updates != len(ups) {
+		t.Fatalf("Updates = %d, want %d", st.Updates, len(ups))
+	}
+}
+
+func TestWindowEvicts(t *testing.T) {
+	// Span 4h in 4 buckets of 1h; updates one hour apart, so each Add
+	// past the fourth opens a bucket and evicts the tail one.
+	epoch := time.Unix(1_700_000_000, 0).UTC()
+	w := NewWindow(WindowConfig{Span: 4 * time.Hour, Buckets: 4})
+	var ups []Update
+	for i := 0; i < 10; i++ {
+		u := wu(uint64(i+1), epoch.Add(time.Duration(i)*time.Hour),
+			[]uint32{uint32(100 + i), 200}, uint32(300+i), 10)
+		ups = append(ups, u)
+		w.Add(u)
+	}
+	st := w.Stats()
+	if st.Evicted != 6 {
+		t.Fatalf("Evicted = %d, want 6 (10 hourly updates, 4-bucket window)", st.Evicted)
+	}
+	if st.Rebuilds == 0 {
+		t.Fatal("eviction without a store rebuild")
+	}
+	if st.Updates != 4 {
+		t.Fatalf("live Updates = %d, want 4", st.Updates)
+	}
+	// The store must equal one rebuilt from only the surviving updates.
+	sameStore(t, w.Store(), refStore(ups[6:]))
+	if got, want := st.Oldest, ups[6].Time; !got.Equal(want) {
+		t.Fatalf("Oldest = %v, want %v", got, want)
+	}
+	if got, want := st.Newest, ups[9].Time; !got.Equal(want) {
+		t.Fatalf("Newest = %v, want %v", got, want)
+	}
+}
+
+func TestWindowTimeJumpFastForward(t *testing.T) {
+	// A feed-time jump far past the window (long stall, loop wrap) must
+	// evict everything old without materializing intermediate buckets.
+	epoch := time.Unix(1_700_000_000, 0).UTC()
+	w := NewWindow(WindowConfig{Span: time.Hour, Buckets: 4})
+	w.Add(wu(1, epoch, []uint32{1, 2}, 10, 1))
+	w.Add(wu(2, epoch.Add(10*365*24*time.Hour), []uint32{3, 4}, 20, 2))
+	st := w.Stats()
+	if st.Updates != 1 || st.Evicted != 1 {
+		t.Fatalf("after 10-year jump: live=%d evicted=%d, want 1/1", st.Updates, st.Evicted)
+	}
+	sameStore(t, w.Store(), refStore([]Update{wu(2, epoch, []uint32{3, 4}, 20, 2)}))
+}
+
+func TestWindowStragglerStays(t *testing.T) {
+	// An update whose feed time is older than the newest bucket lands in
+	// it rather than being dropped: conservative, never lossy.
+	epoch := time.Unix(1_700_000_000, 0).UTC()
+	w := NewWindow(WindowConfig{Span: 4 * time.Hour, Buckets: 4})
+	w.Add(wu(1, epoch.Add(2*time.Hour), []uint32{1, 2}, 10, 1))
+	w.Add(wu(2, epoch, []uint32{3, 4}, 20, 2)) // straggler, 2h behind
+	if st := w.Stats(); st.Updates != 2 || st.Evicted != 0 {
+		t.Fatalf("straggler handling: live=%d evicted=%d, want 2/0", st.Updates, st.Evicted)
+	}
+}
+
+func TestWindowDirtyTracking(t *testing.T) {
+	epoch := time.Unix(1_700_000_000, 0).UTC()
+	w := NewWindow(WindowConfig{Span: 2 * time.Hour, Buckets: 2})
+
+	// First add: comm α 300 dirty, path ASNs 100/200 newly on-path.
+	w.Add(wu(1, epoch, []uint32{100, 200}, 300, 10))
+	d := w.TakeDirty()
+	for _, a := range []uint16{300, 100, 200} {
+		if !d[a] {
+			t.Fatalf("α %d not dirty after first add (got %v)", a, d)
+		}
+	}
+
+	// TakeDirty cleared: nothing new means nil.
+	if d := w.TakeDirty(); d != nil {
+		t.Fatalf("TakeDirty after clear = %v, want nil", d)
+	}
+
+	// Same path again: refcount 1→2 flips nothing; only the comm's α
+	// (already ≠ path ASNs here) is dirty.
+	w.Add(wu(2, epoch.Add(30*time.Minute), []uint32{100, 200}, 301, 10))
+	d = w.TakeDirty()
+	if !d[301] {
+		t.Fatal("comm α 301 not dirty")
+	}
+	if d[100] || d[200] {
+		t.Fatalf("path refcount 1→2 wrongly dirtied path αs: %v", d)
+	}
+
+	// Advance feed time so the first two updates evict: their comm αs
+	// dirty again, and path ASNs 100/200 flip off-path.
+	w.Add(wu(3, epoch.Add(3*time.Hour), []uint32{150, 250}, 302, 10))
+	d = w.TakeDirty()
+	for _, a := range []uint16{300, 301, 100, 200, 302, 150, 250} {
+		if !d[a] {
+			t.Fatalf("α %d not dirty after eviction (got %v)", a, d)
+		}
+	}
+	if st := w.Stats(); st.Evicted != 2 {
+		t.Fatalf("Evicted = %d, want 2", st.Evicted)
+	}
+
+	// RestoreDirty undoes a TakeDirty whose classify failed.
+	w.RestoreDirty(map[uint16]bool{42: true})
+	if d := w.TakeDirty(); !d[42] {
+		t.Fatalf("RestoreDirty lost α 42: %v", d)
+	}
+}
+
+func TestWindowLargeASNPathRefs(t *testing.T) {
+	// 32-bit path ASNs above 0xFFFF cannot be community αs; their flips
+	// must not panic or dirty anything.
+	w := NewWindow(WindowConfig{})
+	w.Add(wu(1, time.Unix(0, 0), []uint32{400000, 500000}, 300, 10))
+	d := w.TakeDirty()
+	if !d[300] || len(d) != 1 {
+		t.Fatalf("dirty = %v, want only α 300", d)
+	}
+}

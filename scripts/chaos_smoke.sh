@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Chaos smoke test for intentd's live mode, run by CI and usable
+# locally: start the daemon against the simulated feed with the
+# deterministic fault injector at a fixed seed (disconnects, stalls,
+# corrupt frames, duplicates, reorderings at 10% of deliveries), hammer
+# the API for a fixed window, and assert the robustness contract:
+#
+#   - 100% availability: every request during the chaos window answers
+#     200 with well-formed JSON;
+#   - no torn snapshots: the served generation is monotone and every
+#     /v1/stats body is a complete live-installed classification;
+#   - the feed survives: reconnects and stalls happen (the injector is
+#     live) yet updates and snapshots keep accumulating;
+#   - /v1/health transitions healthy -> stale -> healthy as injected
+#     stalls outrun the staleness budget and ingestion recovers;
+#   - a clean SIGTERM drain at the end.
+#
+# Exits nonzero on the first violated assertion.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work=$(mktemp -d)
+bin="$work/bin"
+log="$work/intentd.log"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "CHAOS FAIL: $*" >&2; [ -s "$log" ] && tail -40 "$log" | sed 's/^/  intentd: /' >&2; exit 1; }
+
+echo "== build"
+go build -o "$bin/" ./cmd/intentd
+
+echo "== start intentd -live with fault injection (feed seed 7, fault seed 42, rate 0.10)"
+"$bin/intentd" -addr 127.0.0.1:0 -drain-timeout 5s \
+    -live -live-small -live-seed 7 -live-interval 0 \
+    -fault-rate 0.10 -fault-seed 42 -fault-stall 250ms \
+    -feed-read-timeout 400ms -stale-after 120ms -retry-budget -1 \
+    -snapshot-every 1000 -snapshot-interval 2s >"$log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 300); do
+    addr=$(sed -n 's/^listening on //p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || fail "intentd exited during startup"
+    sleep 0.1
+done
+[ -n "$addr" ] || fail "intentd never reported its listen address"
+
+echo "== hammer through the chaos window"
+python3 - "$addr" 15 <<'PYEOF' || fail "chaos window assertions"
+import json, sys, time, urllib.request
+
+base = "http://" + sys.argv[1]
+window = float(sys.argv[2])
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=10) as r:
+        if r.status != 200:
+            sys.exit(f"GET {path}: status {r.status}")
+        return json.loads(r.read())
+
+# Phase 0: the feed must install a real snapshot past the placeholder.
+deadline = time.time() + 60
+h = get("/v1/health")
+while h["generation"] < 2:
+    if time.time() > deadline:
+        sys.exit(f"no feed snapshot installed within 60s: {h}")
+    time.sleep(0.05)
+    h = get("/v1/health")
+if h["mode"] != "live" or not h.get("feed"):
+    sys.exit(f"not in live mode: {h}")
+
+# Phase 1: hammer. Any non-200, parse error, or connection failure
+# raises and fails the smoke -- that IS the availability assertion.
+polls, last_gen = 0, 0
+saw_stale = recovered = False
+end = time.time() + window
+while time.time() < end:
+    h = get("/v1/health")
+    s = get("/v1/stats")
+    polls += 1
+    gen = h["generation"]
+    if gen < last_gen:
+        sys.exit(f"generation went backwards: {last_gen} -> {gen} (torn swap)")
+    last_gen = gen
+    if not s["source"].startswith("live:seq="):
+        sys.exit(f"served a non-feed snapshot mid-chaos: {s['source']!r}")
+    if s["action"] + s["information"] == 0:
+        sys.exit(f"served an empty classification mid-chaos: {s}")
+    status = h["status"]
+    if status == "degraded":
+        sys.exit(f"feed degraded despite unlimited retry budget: {h}")
+    if status == "stale":
+        saw_stale = True
+    elif status == "healthy" and saw_stale:
+        recovered = True
+    time.sleep(0.02)
+
+# Phase 2: the feed must settle back to healthy once left alone.
+deadline = time.time() + 30
+while h["status"] != "healthy":
+    if time.time() > deadline:
+        sys.exit(f"never recovered to healthy after the window: {h}")
+    time.sleep(0.05)
+    h = get("/v1/health")
+
+feed = h["feed"]
+if not saw_stale:
+    sys.exit("health never reported stale: injected stalls did not outrun the budget")
+if not recovered:
+    sys.exit("health never transitioned stale -> healthy inside the window")
+if feed["reconnects"] < 5:
+    sys.exit(f"only {feed['reconnects']} reconnects: the injector barely ran")
+if feed["updates"] < 2000:
+    sys.exit(f"only {feed['updates']} updates applied: the feed did not survive the faults")
+if feed["snapshots"] < 2:
+    sys.exit(f"only {feed['snapshots']} snapshots installed")
+print(f"chaos OK: {polls} polls all 200, gen {last_gen}, "
+      f"{feed['updates']} updates, {feed['reconnects']} reconnects, "
+      f"{feed['snapshots']} snapshots, healthy->stale->healthy observed")
+PYEOF
+
+echo "== feed counters reached /metrics"
+prom=$(curl -sf --max-time 10 "http://$addr/metrics") || fail "/metrics unreachable"
+echo "$prom" | grep -q '^intentd_feed_updates_total [0-9]' || fail "/metrics misses feed update counter"
+echo "$prom" | grep -q '^intentd_feed_reconnects_total [0-9]' || fail "/metrics misses feed reconnect counter"
+
+echo "== reload stays disabled under chaos"
+code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 -X POST "http://$addr/v1/admin/reload")
+[ "$code" = "409" ] || fail "live-mode reload answered $code, want 409"
+
+echo "== graceful shutdown"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    fail "intentd did not exit within 10s of SIGTERM"
+fi
+wait "$pid" || fail "intentd exited nonzero after SIGTERM"
+pid=""
+
+echo "CHAOS OK"
