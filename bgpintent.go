@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"bgpintent/internal/asrel"
@@ -466,7 +467,7 @@ func (c *Corpus) ClassifyContext(ctx context.Context, p Params) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{inf: inf}, nil
+	return newResult(inf), nil
 }
 
 // ExcludeReason explains why a community was not classified.
@@ -481,48 +482,91 @@ const (
 	ExcludedUnobserved ExcludeReason = "unobserved"
 )
 
-// Result holds the inferences for one corpus.
+// Result holds the inferences for one corpus. It may be heap-resident
+// (classifier output, v1 snapshot) or a zero-copy view over an
+// mmap-ed v2 snapshot file — queries behave identically either way.
 type Result struct {
-	inf *core.Inferences
+	src core.InferenceSource
+
+	// mapped is non-nil when src serves straight from a snapshot file.
+	mapped *core.Mapped
+
+	// Lazily built ASN → clusters index for heap-backed results (mapped
+	// ones binary-search the snapshot's sorted cluster section instead).
+	asnOnce sync.Once
+	asnIdx  map[uint16][]Cluster
+}
+
+func newResult(inf *core.Inferences) *Result { return &Result{src: inf} }
+
+func newMappedResult(m *core.Mapped) *Result { return &Result{src: m, mapped: m} }
+
+// inferences returns the heap form of the result, materializing a
+// mapped one (full copy) on demand.
+func (r *Result) inferences() *core.Inferences { return r.src.Materialize() }
+
+// Mmapped reports whether the result serves directly from a memory-
+// mapped snapshot file (false for heap-resident results, and on
+// platforms where mapping fell back to a heap read).
+func (r *Result) Mmapped() bool { return r.mapped != nil && r.mapped.Mmapped() }
+
+// SnapshotPath returns the backing snapshot file for a result opened
+// with OpenSnapshotFile, "" otherwise.
+func (r *Result) SnapshotPath() string {
+	if r.mapped == nil {
+		return ""
+	}
+	return r.mapped.Path()
+}
+
+// Close releases the snapshot mapping, if any. Queries must not race
+// with or follow Close; heap-backed results ignore it.
+func (r *Result) Close() error {
+	if r.mapped == nil {
+		return nil
+	}
+	return r.mapped.Close()
 }
 
 // Category returns the inferred label for a community.
 func (r *Result) Category(c Community) Category {
-	return fromDictCategory(r.inf.Category(c.wire()))
+	return fromDictCategory(r.src.Category(c.wire()))
 }
 
 // Excluded returns the exclusion reason, if the community was seen but
 // deliberately left unclassified.
 func (r *Result) Excluded(c Community) (ExcludeReason, bool) {
-	reason, ok := r.inf.Excluded[c.wire()]
-	if !ok {
+	v := r.src.Verdict(c.wire())
+	if !v.Observed || v.Reason == core.ExcludeNone {
 		return "", false
 	}
-	return ExcludeReason(reason.String()), true
+	return ExcludeReason(v.Reason.String()), true
 }
 
 // Counts returns the number of action and information inferences.
 func (r *Result) Counts() (action, information int) {
-	return r.inf.Counts()
+	return r.src.Counts()
 }
 
 // ExcludedCount returns how many observed communities were deliberately
 // left unclassified.
-func (r *Result) ExcludedCount() int { return len(r.inf.Excluded) }
+func (r *Result) ExcludedCount() int { return r.src.ExcludedCount() }
 
 // ObservedCount returns how many distinct communities the result covers
 // (classified plus excluded).
-func (r *Result) ObservedCount() int { return r.inf.Observed() }
+func (r *Result) ObservedCount() int { return r.src.Observed() }
 
 // Labeled returns every classified community with its label, sorted.
 func (r *Result) Labeled() []LabeledCommunity {
-	out := make([]LabeledCommunity, 0, len(r.inf.Labels))
-	for comm, cat := range r.inf.Labels {
+	action, information := r.src.Counts()
+	out := make([]LabeledCommunity, 0, action+information)
+	r.src.EachLabeled(func(comm bgp.Community, cat dict.Category) bool {
 		out = append(out, LabeledCommunity{
 			Community: Community{ASN: comm.ASN(), Value: comm.Value()},
 			Category:  fromDictCategory(cat),
 		})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Community, out[j].Community
 		if a.ASN != b.ASN {
@@ -556,30 +600,28 @@ type Cluster struct {
 	Ratio       float64
 }
 
-func clusterFromCore(cl *core.Cluster) Cluster {
-	c := Cluster{
-		ASN:         cl.Alpha,
-		Lo:          cl.Lo,
-		Hi:          cl.Hi,
-		Category:    fromDictCategory(cl.Label),
-		Size:        len(cl.Members),
-		PureOnPath:  cl.PureOnPath,
-		PureOffPath: cl.PureOffPath,
-		Ratio:       cl.Ratio,
+func clusterFromSummary(cs core.ClusterSummary) Cluster {
+	return Cluster{
+		ASN:         cs.Alpha,
+		Lo:          cs.Lo,
+		Hi:          cs.Hi,
+		Category:    fromDictCategory(cs.Label),
+		Size:        cs.Size,
+		OnPath:      int(cs.OnPath),
+		OffPath:     int(cs.OffPath),
+		PureOnPath:  cs.PureOnPath,
+		PureOffPath: cs.PureOffPath,
+		Ratio:       cs.Ratio,
 	}
-	for _, m := range cl.Members {
-		c.OnPath += m.OnPath
-		c.OffPath += m.OffPath
-	}
-	return c
 }
 
 // Clusters returns every inferred cluster, sorted by (ASN, Lo) — the
 // coarse community dictionary structure the paper's Figure 4 shows.
 func (r *Result) Clusters() []Cluster {
-	out := make([]Cluster, 0, len(r.inf.Clusters))
-	for i := range r.inf.Clusters {
-		out = append(out, clusterFromCore(&r.inf.Clusters[i]))
+	n := r.src.ClusterCount()
+	out := make([]Cluster, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, clusterFromSummary(r.src.ClusterSummaryAt(i)))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ASN != out[j].ASN {
@@ -588,6 +630,33 @@ func (r *Result) Clusters() []Cluster {
 		return out[i].Lo < out[j].Lo
 	})
 	return out
+}
+
+// ClusterCount returns the number of inferred clusters.
+func (r *Result) ClusterCount() int { return r.src.ClusterCount() }
+
+// ClustersFor returns the clusters of one signaling AS, in ascending
+// Lo order. Mapped results binary-search the snapshot's (ASN, Lo)-
+// sorted cluster section; heap results consult a lazily built index.
+func (r *Result) ClustersFor(asn uint16) []Cluster {
+	if r.mapped != nil {
+		lo, hi := r.mapped.AlphaClusters(asn)
+		if lo == hi {
+			return nil
+		}
+		out := make([]Cluster, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, clusterFromSummary(r.mapped.ClusterSummaryAt(i)))
+		}
+		return out
+	}
+	r.asnOnce.Do(func() {
+		r.asnIdx = make(map[uint16][]Cluster)
+		for _, cl := range r.Clusters() {
+			r.asnIdx[cl.ASN] = append(r.asnIdx[cl.ASN], cl)
+		}
+	})
+	return r.asnIdx[asn]
 }
 
 // WriteTSV emits the inferences as "community<TAB>category" lines, the
@@ -620,19 +689,19 @@ type Lookup struct {
 
 // Lookup explains a community's verdict.
 func (r *Result) Lookup(c Community) Lookup {
-	l := r.inf.Lookup(c.wire())
+	v := r.src.Verdict(c.wire())
 	out := Lookup{
 		Community: c,
-		Observed:  l.Observed,
-		Category:  fromDictCategory(l.Category),
-		OnPath:    l.Stats.OnPath,
-		OffPath:   l.Stats.OffPath,
+		Observed:  v.Observed,
+		Category:  fromDictCategory(v.Category),
+		OnPath:    v.Stats.OnPath,
+		OffPath:   v.Stats.OffPath,
 	}
-	if l.Reason != core.ExcludeNone {
-		out.Reason = ExcludeReason(l.Reason.String())
+	if v.Reason != core.ExcludeNone {
+		out.Reason = ExcludeReason(v.Reason.String())
 	}
-	if l.Cluster != nil {
-		cl := clusterFromCore(l.Cluster)
+	if v.HasCluster {
+		cl := clusterFromSummary(v.Cluster)
 		out.Cluster = &cl
 	}
 	return out
@@ -688,22 +757,59 @@ func snapshotInfo(m core.SnapshotMeta) SnapshotInfo {
 	}
 }
 
-// WriteSnapshot serializes the result into the versioned binary
-// snapshot format intentd cold-starts from (see internal/core). The
-// round trip ReadSnapshot(WriteSnapshot(r)) preserves every label,
-// cluster, exclusion, and Lookup verdict.
+// WriteSnapshot serializes the result into the v1 gob snapshot format
+// (see internal/core). The round trip ReadSnapshot(WriteSnapshot(r))
+// preserves every label, cluster, exclusion, and Lookup verdict.
 func (r *Result) WriteSnapshot(w io.Writer, info SnapshotInfo) error {
-	return core.WriteSnapshot(w, r.inf, info.meta())
+	return core.WriteSnapshot(w, r.inferences(), info.meta())
 }
 
-// ReadSnapshot loads a Result back from a snapshot written by
-// WriteSnapshot.
+// WriteSnapshotV2 serializes the result into the flat, mmap-able v2
+// snapshot layout that OpenSnapshotFile serves zero-copy. Verdicts are
+// identical across formats; v2 additionally gives replicas O(1) cold
+// start and shared page cache.
+func (r *Result) WriteSnapshotV2(w io.Writer, info SnapshotInfo) error {
+	return core.WriteSnapshotV2(w, r.inferences(), info.meta())
+}
+
+// ReadSnapshot loads a Result back from a snapshot of either format
+// version, rebuilding the heap query index.
 func ReadSnapshot(rd io.Reader) (*Result, SnapshotInfo, error) {
 	inf, meta, err := core.ReadSnapshot(rd)
 	if err != nil {
 		return nil, SnapshotInfo{}, err
 	}
-	return &Result{inf: inf}, snapshotInfo(meta), nil
+	return newResult(inf), snapshotInfo(meta), nil
+}
+
+// OpenSnapshotFile opens the snapshot at path in the cheapest mode its
+// format allows: v2 snapshots are memory-mapped and served zero-copy
+// (O(1) cold start, page cache shared between replicas), v1 snapshots
+// are decoded onto the heap. Close the Result to release a mapping.
+func OpenSnapshotFile(path string) (*Result, SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	var magic [10]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	if rerr != nil {
+		return nil, SnapshotInfo{}, fmt.Errorf("snapshot: short header: %w", rerr)
+	}
+	if magic[9] == core.SnapshotVersionV2 {
+		m, err := core.OpenSnapshotMmap(path)
+		if err != nil {
+			return nil, SnapshotInfo{}, err
+		}
+		return newMappedResult(m), snapshotInfo(m.Meta()), nil
+	}
+	f, err = os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{}, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
 }
 
 // ReadSnapshotInfo reads only a snapshot's provenance/counter header,
@@ -749,9 +855,9 @@ func (r *Result) WriteJSON(w io.Writer) error {
 	}{
 		Action:      action,
 		Information: info,
-		Excluded:    len(r.inf.Excluded),
+		Excluded:    r.src.ExcludedCount(),
 		Inferences:  make([]jsonInference, 0, action+info),
-		Clusters:    make([]jsonCluster, 0, len(r.inf.Clusters)),
+		Clusters:    make([]jsonCluster, 0, r.src.ClusterCount()),
 	}
 	for _, lc := range r.Labeled() {
 		doc.Inferences = append(doc.Inferences, jsonInference{

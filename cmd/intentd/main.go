@@ -3,10 +3,11 @@
 // systems (location filters, anomaly detectors, looking glasses) can
 // ask "what is 2914:3075?" without re-running the pipeline.
 //
-// It loads a precomputed snapshot (intentinfer -format snapshot; cold
-// start in milliseconds), raw MRT archives (classified on startup), or
-// — with -live — consumes a simulated streaming feed through the
-// fault-tolerant Ingestor, and serves:
+// It loads a precomputed snapshot (intentinfer -format snapshot; v2
+// snapshots are memory-mapped for O(1) cold start), raw MRT archives
+// (classified on startup), a polled snapshot URL (-replica, for
+// horizontally scaled fleets), or — with -live — consumes a simulated
+// streaming feed through the fault-tolerant Ingestor, and serves:
 //
 //	GET  /v1/community/{asn}:{value}  one community's verdict + evidence
 //	POST /v1/annotate                 batch: communities or (path, communities) tuples
@@ -15,7 +16,8 @@
 //	GET  /v1/metrics                  the operational counters as JSON
 //	GET  /metrics                     the same counters in Prometheus text format
 //	POST /v1/admin/reload             rebuild + atomically swap the snapshot
-//	GET  /v1/health                   feed health: healthy | stale | degraded (always 200)
+//	GET  /v1/health                   feed/replica health: healthy | stale | degraded (always 200)
+//	GET  /v1/snapshot                 the published snapshot file (ETag-gated; -snapshot mode)
 //	GET  /healthz                     liveness
 //
 // Reads are lock-free against an immutable snapshot; SIGHUP or the
@@ -34,6 +36,8 @@
 //	intentd -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	        -as2org corpus/as2org.txt [-gap 140] [-ratio 160]
 //	intentd -live [-live-small] [-fault-rate 0.1] [-window 48h]
+//	intentd -replica -snapshot-url http://origin:8642/v1/snapshot \
+//	        [-poll-interval 15s] [-snapshot-cache /var/cache/intentd]
 package main
 
 import (
@@ -85,6 +89,12 @@ type config struct {
 	readTimeout       time.Duration
 	idleTimeout       time.Duration
 
+	// replica mode
+	replica       bool
+	snapshotURL   string
+	pollInterval  time.Duration
+	snapshotCache string
+
 	// live-feed mode
 	live          bool
 	liveSmall     bool
@@ -128,6 +138,11 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.idleTimeout, "idle-timeout", serve.DefaultIdleTimeout,
 		"HTTP keep-alive idle deadline (negative disables)")
 
+	fs.BoolVar(&cfg.replica, "replica", false, "poll a snapshot URL instead of building locally (requires -snapshot-url)")
+	fs.StringVar(&cfg.snapshotURL, "snapshot-url", "", "snapshot endpoint to poll in replica mode (e.g. http://origin:8642/v1/snapshot)")
+	fs.DurationVar(&cfg.pollInterval, "poll-interval", serve.DefaultPollInterval, "replica snapshot poll period")
+	fs.StringVar(&cfg.snapshotCache, "snapshot-cache", "", "directory for fetched replica snapshots (default: system temp dir)")
+
 	fs.BoolVar(&cfg.live, "live", false, "consume the simulated streaming feed instead of a static corpus")
 	fs.BoolVar(&cfg.liveSmall, "live-small", false, "use the test-sized synthetic Internet for the live feed")
 	fs.Int64Var(&cfg.liveSeed, "live-seed", 1, "deterministic seed of the live feed")
@@ -147,19 +162,33 @@ func parseFlags(args []string) (*config, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
-	if cfg.live {
+	switch {
+	case cfg.replica:
+		if cfg.live || cfg.snapshot != "" || cfg.ribGlob != "" || cfg.updGlob != "" {
+			return nil, fmt.Errorf("-replica and -live/-snapshot/-rib/-updates are mutually exclusive")
+		}
+		if cfg.snapshotURL == "" {
+			return nil, fmt.Errorf("-replica requires -snapshot-url")
+		}
+		if cfg.pollInterval <= 0 {
+			return nil, fmt.Errorf("-poll-interval must be positive")
+		}
+	case cfg.live:
 		if cfg.snapshot != "" || cfg.ribGlob != "" || cfg.updGlob != "" {
 			return nil, fmt.Errorf("-live and -snapshot/-rib/-updates are mutually exclusive")
 		}
 		if cfg.faultRate < 0 || cfg.faultRate > 1 {
 			return nil, fmt.Errorf("-fault-rate %g outside [0,1]", cfg.faultRate)
 		}
-	} else {
+	default:
+		if cfg.snapshotURL != "" {
+			return nil, fmt.Errorf("-snapshot-url requires -replica")
+		}
 		if cfg.faultRate != 0 {
 			return nil, fmt.Errorf("-fault-rate requires -live")
 		}
 		if cfg.snapshot == "" && cfg.ribGlob == "" && cfg.updGlob == "" {
-			return nil, fmt.Errorf("no data source: use -snapshot, -rib/-updates, or -live")
+			return nil, fmt.Errorf("no data source: use -snapshot, -rib/-updates, -replica, or -live")
 		}
 		if cfg.snapshot != "" && (cfg.ribGlob != "" || cfg.updGlob != "") {
 			return nil, fmt.Errorf("-snapshot and -rib/-updates are mutually exclusive")
@@ -177,12 +206,9 @@ func parseFlags(args []string) (*config, error) {
 func builder(cfg *config) serve.Builder {
 	if cfg.snapshot != "" {
 		return func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
-			f, err := os.Open(cfg.snapshot)
-			if err != nil {
-				return nil, bgpintent.SnapshotInfo{}, "", err
-			}
-			defer f.Close()
-			res, info, err := bgpintent.ReadSnapshot(f)
+			// v2 snapshots are memory-mapped and served zero-copy; v1
+			// falls back to the heap decode path.
+			res, info, err := bgpintent.OpenSnapshotFile(cfg.snapshot)
 			if err != nil {
 				return nil, bgpintent.SnapshotInfo{}, "", err
 			}
@@ -236,14 +262,41 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return res, info, "live:awaiting-feed", nil
 		}
 	}
+	if cfg.replica {
+		// Replica mode likewise serves a placeholder until the first
+		// successful poll installs a fetched snapshot.
+		b = func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+			res, info := bgpintent.EmptyResult()
+			return res, info, "replica:awaiting-poll", nil
+		}
+	}
 	srv, err := serve.New(ctx, b, log.Printf)
 	if err != nil {
 		return err
+	}
+	if cfg.snapshot != "" {
+		// Publish the file this instance serves from, so replicas can
+		// point -snapshot-url at this origin.
+		srv.SetSnapshotFile(cfg.snapshot)
 	}
 	if cfg.live {
 		if err := startLive(ctx, cfg, srv); err != nil {
 			return err
 		}
+	}
+	if cfg.replica {
+		srv.DisableReload("replica mode: snapshots are installed from the polled origin")
+		rep := serve.NewReplica(srv, serve.ReplicaConfig{
+			URL:      cfg.snapshotURL,
+			Interval: cfg.pollInterval,
+			CacheDir: cfg.snapshotCache,
+		})
+		// One synchronous poll so a reachable origin is served from the
+		// very first request; failure only degrades (the poller retries).
+		if _, err := rep.Poll(ctx); err != nil {
+			log.Printf("initial poll failed, serving placeholder until the origin answers: %v", err)
+		}
+		go rep.Run(ctx) //nolint:errcheck // Run only returns on ctx cancel
 	}
 	snap := srv.Snapshot()
 	fmt.Fprintf(stdout, "ready: %v (startup %v)\n", snap, time.Since(start).Round(time.Millisecond))

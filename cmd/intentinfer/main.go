@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ratio   = fs.Float64("ratio", 160, "on-path:off-path ratio threshold")
 		outPath = fs.String("o", "", "write inferences to this file")
 		format  = fs.String("format", "tsv", "output format: tsv, json, or snapshot (the binary artifact intentd -snapshot serves from)")
+		snapVer = fs.Int("snap-version", 2, "snapshot format version: 2 (flat, mmap-able) or 1 (legacy gob)")
 		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
 		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
 			"abort when a file's corruption rate exceeds this fraction (negative disables)")
@@ -83,6 +84,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	case "tsv", "json", "snapshot":
 	default:
 		return fmt.Errorf("unknown -format %q (want tsv, json or snapshot)", *format)
+	}
+	if *snapVer != 1 && *snapVer != 2 {
+		return fmt.Errorf("unknown -snap-version %d (want 1 or 2)", *snapVer)
 	}
 	// Reject bad -gap/-ratio before the (potentially long) load.
 	if err := (bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio}).Validate(); err != nil {
@@ -168,7 +172,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			fill = res.WriteJSON
 		case "snapshot":
 			info := c.SnapshotInfo(sourceLabel(*ribGlob, *updGlob))
-			fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
+			if *snapVer == 1 {
+				fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
+			} else {
+				fill = func(w io.Writer) error { return res.WriteSnapshotV2(w, info) }
+			}
 		}
 		err := obs.Time(ctx, observer, obs.StageSnapshotWrite, *outPath, nil, func(context.Context) error {
 			return writeAtomic(*outPath, fill)

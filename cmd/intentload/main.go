@@ -1,0 +1,210 @@
+// Command intentload is the closed-loop load harness for intentd. It
+// drives a running server with a deterministic, zipf-skewed mix of
+// /v1/community lookups (keys drawn from a snapshot file) and writes a
+// BENCH_serve.json report with throughput, latency quantiles and the
+// server's RSS.
+//
+// Usage:
+//
+//	intentload -url http://127.0.0.1:8642 -snapshot corpus.snap \
+//	           [-mode closed|open] [-duration 10s] [-concurrency 8]
+//	           [-rate 1000] [-seed 1] [-max-keys 4096]
+//	           [-out BENCH_serve.json] [-server-pid N]
+//	           [-baseline BENCH_serve.json] [-max-regress 0.25] [-check file]
+//
+// -mode closed keeps -concurrency workers issuing back-to-back
+// requests; -mode open paces arrivals at -rate per second and measures
+// latency from the scheduled arrival time, so queueing delay is not
+// coordinated away. -baseline fails the run when p99 regressed more
+// than -max-regress over the committed report. -check only validates
+// an existing report file and exits — the CI schema gate.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"bgpintent"
+	"bgpintent/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("intentload: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
+		log.Fatal(err)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("intentload", flag.ContinueOnError)
+	var (
+		baseURL  = fs.String("url", "http://127.0.0.1:8642", "intentd base URL")
+		snapPath = fs.String("snapshot", "", "snapshot file to draw lookup keys from")
+		mode     = fs.String("mode", loadgen.ModeClosed, "loop discipline: closed or open")
+		duration = fs.Duration("duration", 10*time.Second, "how long to drive load")
+		conc     = fs.Int("concurrency", 8, "workers (closed) / in-flight cap (open)")
+		rate     = fs.Float64("rate", 1000, "open-mode arrival rate, requests/second")
+		seed     = fs.Int64("seed", 1, "deterministic request-sequence seed")
+		maxKeys  = fs.Int("max-keys", 4096, "cap on lookup keys drawn from the snapshot")
+		outPath  = fs.String("out", "", "write the BENCH_serve.json report here")
+		svrPID   = fs.Int("server-pid", 0, "intentd pid for RSS sampling (0 skips)")
+		baseline = fs.String("baseline", "", "compare p99 against this committed report")
+		maxReg   = fs.Float64("max-regress", 0.25, "allowed p99 regression over -baseline (fraction)")
+		check    = fs.String("check", "", "validate this report file and exit (no load)")
+		wait     = fs.Duration("wait-ready", 10*time.Second, "how long to wait for /healthz before driving load")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *check != "" {
+		rep, err := loadgen.ReadReport(*check)
+		if err != nil {
+			return err
+		}
+		if err := rep.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", *check, err)
+		}
+		fmt.Printf("%s: valid (%s, %.0f qps, p99 %.1fµs)\n", *check, rep.Mode, rep.QPS, rep.P99Micros)
+		if *baseline != "" {
+			base, err := loadgen.ReadReport(*baseline)
+			if err != nil {
+				return err
+			}
+			if err := loadgen.CompareBaseline(base, rep, *maxReg); err != nil {
+				return err
+			}
+			fmt.Printf("within baseline: p99 %.1fµs vs %.1fµs (+%d%% allowed)\n",
+				rep.P99Micros, base.P99Micros, int(*maxReg*100))
+		}
+		return nil
+	}
+
+	paths, err := buildPaths(*snapPath, *maxKeys)
+	if err != nil {
+		return err
+	}
+	if *wait > 0 {
+		if err := loadgen.WaitReady(*baseURL+"/healthz", *wait); err != nil {
+			return err
+		}
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:     *baseURL,
+		Paths:       paths,
+		Mode:        *mode,
+		Duration:    *duration,
+		Concurrency: *conc,
+		Rate:        *rate,
+		Seed:        *seed,
+	}
+	log.Printf("driving %s for %v: %d keys, concurrency %d, seed %d",
+		*baseURL, *duration, len(paths), *conc, *seed)
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+
+	rep := loadgen.BuildReport(cfg, res, *svrPID)
+	if err := rep.Validate(); err != nil {
+		return fmt.Errorf("run produced an invalid report: %w", err)
+	}
+	fmt.Printf("%s mode: %d requests (%d errors) in %v — %.0f qps\n",
+		rep.Mode, rep.Requests, rep.Errors, res.Elapsed, rep.QPS)
+	fmt.Printf("latency: p50 %.1fµs  p90 %.1fµs  p99 %.1fµs  p999 %.1fµs  max %.1fµs\n",
+		rep.P50Micros, rep.P90Micros, rep.P99Micros, rep.P999Micros, rep.MaxMicros)
+	if rep.RSSBytes > 0 {
+		fmt.Printf("server rss: %.1f MiB\n", float64(rep.RSSBytes)/(1<<20))
+	}
+	if res.DroppedSend > 0 {
+		log.Printf("warning: %d open-mode arrivals dropped (all workers busy); raise -concurrency or lower -rate", res.DroppedSend)
+	}
+
+	if *baseline != "" {
+		base, err := loadgen.ReadReport(*baseline)
+		if err != nil {
+			return err
+		}
+		if err := loadgen.CompareBaseline(base, rep, *maxReg); err != nil {
+			return err
+		}
+		fmt.Printf("within baseline: p99 %.1fµs vs %.1fµs (+%d%% allowed)\n",
+			rep.P99Micros, base.P99Micros, int(*maxReg*100))
+	}
+	if *outPath != "" {
+		if err := writeReport(*outPath, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+// buildPaths derives the request-key universe. With a snapshot it is
+// every labeled community (capped), ordered deterministically, hit via
+// /v1/community/{comm}; without one it falls back to the read-only
+// metadata endpoints.
+func buildPaths(snapPath string, maxKeys int) ([]string, error) {
+	if snapPath == "" {
+		return []string{"/v1/stats", "/v1/health", "/v1/metrics"}, nil
+	}
+	res, _, err := bgpintent.OpenSnapshotFile(snapPath)
+	if err != nil {
+		return nil, fmt.Errorf("open snapshot: %w", err)
+	}
+	defer res.Close()
+	labeled := res.Labeled()
+	if len(labeled) == 0 {
+		return nil, fmt.Errorf("snapshot %s has no labeled communities", snapPath)
+	}
+	if maxKeys > 0 && len(labeled) > maxKeys {
+		labeled = labeled[:maxKeys]
+	}
+	paths := make([]string, 0, len(labeled)+1)
+	for _, lc := range labeled {
+		paths = append(paths, fmt.Sprintf("/v1/community/%d:%d", lc.Community.ASN, lc.Community.Value))
+	}
+	// One stats key in the mix exercises the aggregate cache path too.
+	paths = append(paths, "/v1/stats")
+	return paths, nil
+}
+
+// writeReport writes atomically so a failed run never truncates a
+// committed benchmark file.
+func writeReport(path string, rep loadgen.Report) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = rep.WriteJSON(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

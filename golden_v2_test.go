@@ -1,0 +1,176 @@
+package bgpintent
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestGoldenV2Equivalence proves the v2 mmap path is indistinguishable
+// from the v1 heap path over the seed corpus: the committed v1 golden
+// snapshot, converted to v2 and served through the zero-copy mapping,
+// must produce byte-identical TSV/JSON renderings and identical
+// verdicts for every community — classified, excluded, and unobserved.
+func TestGoldenV2Equivalence(t *testing.T) {
+	f, err := os.Open("testdata/golden_synthetic.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, info, err := ReadSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Convert to v2 and serve it through the mmap open path.
+	v2Path := filepath.Join(t.TempDir(), "golden.v2.snap")
+	out, err := os.Create(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heap.WriteSnapshotV2(out, info); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mapped, mappedInfo, err := OpenSnapshotFile(v2Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if !mapped.Mmapped() {
+		t.Skip("platform lacks mmap; fallback path covered elsewhere")
+	}
+	if mappedInfo != info {
+		t.Fatalf("snapshot info differs: %+v vs %+v", mappedInfo, info)
+	}
+
+	// Renderings must be byte-identical (and match the seed TSV golden).
+	var heapTSV, mappedTSV bytes.Buffer
+	if err := heap.WriteTSV(&heapTSV); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.WriteTSV(&mappedTSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(heapTSV.Bytes(), mappedTSV.Bytes()) {
+		t.Fatal("TSV rendering differs between heap and mmap paths")
+	}
+	wantTSV, err := os.ReadFile("testdata/golden_synthetic.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mappedTSV.Bytes(), wantTSV) {
+		t.Fatal("mmap TSV differs from the seed golden")
+	}
+	var heapJSON, mappedJSON bytes.Buffer
+	if err := heap.WriteJSON(&heapJSON); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.WriteJSON(&mappedJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(heapJSON.Bytes(), mappedJSON.Bytes()) {
+		t.Fatal("JSON rendering differs between heap and mmap paths")
+	}
+
+	// Every labeled community, every cluster listing, and the aggregate
+	// counters agree.
+	heapLabeled := heap.Labeled()
+	mappedLabeled := mapped.Labeled()
+	if len(heapLabeled) != len(mappedLabeled) {
+		t.Fatalf("labeled counts differ: %d vs %d", len(heapLabeled), len(mappedLabeled))
+	}
+	for i := range heapLabeled {
+		if heapLabeled[i] != mappedLabeled[i] {
+			t.Fatalf("labeled[%d]: %+v vs %+v", i, heapLabeled[i], mappedLabeled[i])
+		}
+		a, b := heap.Lookup(heapLabeled[i].Community), mapped.Lookup(heapLabeled[i].Community)
+		ac, bc := a.Cluster, b.Cluster
+		a.Cluster, b.Cluster = nil, nil
+		if a != b {
+			t.Fatalf("Lookup(%v) differs: %+v vs %+v", heapLabeled[i].Community, a, b)
+		}
+		if (ac == nil) != (bc == nil) || (ac != nil && *ac != *bc) {
+			t.Fatalf("Lookup(%v) cluster differs: %+v vs %+v", heapLabeled[i].Community, ac, bc)
+		}
+	}
+	heapClusters := heap.Clusters()
+	mappedClusters := mapped.Clusters()
+	if len(heapClusters) != len(mappedClusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(heapClusters), len(mappedClusters))
+	}
+	for i := range heapClusters {
+		if heapClusters[i] != mappedClusters[i] {
+			t.Fatalf("cluster[%d]: %+v vs %+v", i, heapClusters[i], mappedClusters[i])
+		}
+		for _, cl := range [][]Cluster{heap.ClustersFor(heapClusters[i].ASN), mapped.ClustersFor(heapClusters[i].ASN)} {
+			if len(cl) == 0 {
+				t.Fatalf("ClustersFor(%d) empty for a known cluster ASN", heapClusters[i].ASN)
+			}
+		}
+	}
+	ha, hi := heap.Counts()
+	ma, mi := mapped.Counts()
+	if ha != ma || hi != mi || heap.ExcludedCount() != mapped.ExcludedCount() ||
+		heap.ObservedCount() != mapped.ObservedCount() {
+		t.Fatalf("counters differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			ha, hi, heap.ExcludedCount(), heap.ObservedCount(),
+			ma, mi, mapped.ExcludedCount(), mapped.ObservedCount())
+	}
+
+	// Unobserved verdict parity.
+	ghost := Comm(4242, 4242)
+	if a, b := heap.Lookup(ghost), mapped.Lookup(ghost); a != b {
+		t.Fatalf("unobserved Lookup differs: %+v vs %+v", a, b)
+	}
+}
+
+// TestOpenSnapshotFileV1Fallback: the opener serves v1 files through
+// the heap path, transparently.
+func TestOpenSnapshotFileV1Fallback(t *testing.T) {
+	res, err := openGoldenCopy(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Mmapped() {
+		t.Fatal("v1 snapshot claims to be mmapped")
+	}
+	var tsv bytes.Buffer
+	if err := res.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden_synthetic.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tsv.Bytes(), want) {
+		t.Fatal("v1 OpenSnapshotFile TSV differs from golden")
+	}
+}
+
+// openGoldenCopy opens a copy of the v1 golden via OpenSnapshotFile
+// (copied so a future regeneration cannot race the mmap).
+func openGoldenCopy(t *testing.T) (*Result, error) {
+	t.Helper()
+	data, err := os.ReadFile("testdata/golden_synthetic.snap")
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(t.TempDir(), "golden.v1.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	res, info, err := OpenSnapshotFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if info.Created.After(time.Now()) {
+		t.Fatalf("golden created in the future: %v", info.Created)
+	}
+	return res, nil
+}

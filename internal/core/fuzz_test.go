@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"bgpintent/internal/bgp"
+)
+
+// fuzzSeeds builds the corpus the fuzzer mutates from: a valid v1
+// snapshot, a valid v2 snapshot, a v2 with a corrupted section table,
+// and a v2 with a truncated arena — the failure classes the replica
+// path must survive when an origin serves torn or damaged bytes.
+func fuzzSeeds(f *testing.F) {
+	ts := NewTupleStore()
+	ts.AddView(900, []uint32{900, 100, 200}, []bgp.Community{bgp.NewCommunity(100, 10)})
+	ts.AddView(901, []uint32{901, 300, 400}, []bgp.Community{
+		bgp.NewCommunity(100, 9000),
+		bgp.NewCommunity(64512, 77),
+		bgp.NewCommunity(500, 1),
+	})
+	inf := Classify(ts, Options{MinGap: 140, RatioThreshold: 160})
+	meta := SnapshotMeta{CreatedUnix: 1714521600, Source: "fuzz"}
+
+	var v1 bytes.Buffer
+	if err := WriteSnapshot(&v1, inf, meta); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+
+	var v2 bytes.Buffer
+	if err := WriteSnapshotV2(&v2, inf, meta); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+
+	// Corrupt section table: flip an entry's offset field.
+	corrupt := append([]byte(nil), v2.Bytes()...)
+	if len(corrupt) > v2HeaderLen+16 {
+		corrupt[v2HeaderLen+8] ^= 0xff
+	}
+	f.Add(corrupt)
+
+	// Truncated arena: file size claims more than is present.
+	truncated := append([]byte(nil), v2.Bytes()...)
+	truncated = truncated[:len(truncated)-v2LookupRecLen]
+	f.Add(truncated)
+
+	// Inflated section count with a plausible header.
+	inflated := append([]byte(nil), v2.Bytes()...)
+	binary.LittleEndian.PutUint32(inflated[24:], v2MaxSections)
+	f.Add(inflated)
+
+	f.Add([]byte("BGPINTSNP"))
+	f.Add([]byte{})
+}
+
+// FuzzReadSnapshot asserts the snapshot readers never panic on
+// arbitrary input: they either return an error or a usable result. The
+// accessors of an accepted v2 payload are exercised too, since the
+// mmap path defers payload validation to access time.
+func FuzzReadSnapshot(f *testing.F) {
+	fuzzSeeds(f)
+	probes := []bgp.Community{
+		bgp.NewCommunity(100, 10), bgp.NewCommunity(100, 9000),
+		bgp.NewCommunity(64512, 77), bgp.NewCommunity(500, 1),
+		bgp.NewCommunity(4242, 4242),
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Streaming reader (both format versions).
+		if inf, _, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+			for _, c := range probes {
+				_ = inf.Verdict(c)
+			}
+		}
+		_, _ = ReadSnapshotMeta(bytes.NewReader(data))
+		_ = VerifySnapshot(data)
+
+		// Zero-copy parser + every accessor a server would hit. Accepted
+		// corrupt payloads may answer wrong, but must not panic.
+		s, err := parseSnapshotV2(data)
+		if err != nil {
+			return
+		}
+		for _, c := range probes {
+			v := mappedVerdict(s, c)
+			_ = v
+		}
+		n := s.clusterCount()
+		for i := -1; i <= n; i++ {
+			_, _ = s.clusterSummaryAt(i)
+			start, count := s.clusterMemberRange(i)
+			for j := 0; j < count; j++ {
+				_ = s.memberAt(start + j)
+			}
+		}
+		for i := 0; i < s.lookupCount(); i++ {
+			_, _, _, _ = s.lookupAt(i)
+		}
+		_ = s.options()
+		_ = s.materialize()
+	})
+}
+
+// mappedVerdict drives the same lookup logic Mapped.Verdict uses,
+// against a parsed (not necessarily mapped) payload.
+func mappedVerdict(s *snapV2, c bgp.Community) Verdict {
+	m := &Mapped{s: s}
+	return m.Verdict(c)
+}

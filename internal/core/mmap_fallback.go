@@ -1,0 +1,26 @@
+//go:build !unix
+
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap syscall reads the whole
+// file into the heap. Queries behave identically; only the shared-
+// page-cache property is lost, which Mapped.Mmapped reports.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size != int64(int(size)) {
+		return nil, false, fmt.Errorf("file too large to read (%d bytes)", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// munmapFile is a no-op for heap-backed views; the GC owns the buffer.
+func munmapFile(data []byte) error { return nil }

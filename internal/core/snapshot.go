@@ -134,9 +134,10 @@ func WriteSnapshot(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 	return binary.Write(w, binary.LittleEndian, crc)
 }
 
-// readSnapshotHeader consumes the magic and returns the meta section
-// length.
-func readSnapshotHeader(r io.Reader) (int, error) {
+// readSnapshotMagic consumes the 10-byte magic block and returns the
+// format version byte. Callers dispatch on it: 1 is the gob layout
+// above, SnapshotVersionV2 the flat mmap-able layout (snapv2.go).
+func readSnapshotMagic(r io.Reader) (byte, error) {
 	var magic [10]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return 0, fmt.Errorf("snapshot: short header: %w", err)
@@ -144,10 +145,12 @@ func readSnapshotHeader(r io.Reader) (int, error) {
 	if !bytes.Equal(magic[:9], snapshotMagic[:9]) {
 		return 0, fmt.Errorf("snapshot: bad magic %q", magic[:9])
 	}
-	if magic[9] != snapshotMagic[9] {
-		return 0, fmt.Errorf("snapshot: unsupported format version %d (want %d)",
-			magic[9], snapshotMagic[9])
-	}
+	return magic[9], nil
+}
+
+// readSnapshotHeaderV1 reads the v1 meta-section length that follows
+// the magic.
+func readSnapshotHeaderV1(r io.Reader) (int, error) {
 	var metaLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &metaLen); err != nil {
 		return 0, fmt.Errorf("snapshot: short header: %w", err)
@@ -158,30 +161,111 @@ func readSnapshotHeader(r io.Reader) (int, error) {
 	return int(metaLen), nil
 }
 
-// ReadSnapshotMeta decodes only the meta section — the header carries
-// its length, so the (much larger) body is never read.
+// readAllV2 reads the remainder of a v2 snapshot from r (the 10-byte
+// magic already consumed) into memory and parses it. The streamed path
+// exists for format compatibility — replicas use OpenSnapshotMmap.
+func readAllV2(r io.Reader) (*snapV2, error) {
+	data := make([]byte, v2HeaderLen)
+	copy(data[:9], snapshotMagic[:9])
+	data[9] = SnapshotVersionV2
+	if _, err := io.ReadFull(r, data[10:]); err != nil {
+		return nil, fmt.Errorf("snapshot: short v2 header: %w", err)
+	}
+	size := binary.LittleEndian.Uint64(data[16:])
+	if size < v2HeaderLen || size > maxSnapshotSection {
+		return nil, fmt.Errorf("snapshot: implausible v2 file size %d", size)
+	}
+	rest, err := readExact(r, size-v2HeaderLen)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: short v2 body: %w", err)
+	}
+	return parseSnapshotV2(append(data, rest...))
+}
+
+// readExact reads exactly n bytes, growing the buffer only as bytes
+// actually arrive, so a forged length header costs a short read — not
+// a multi-gigabyte up-front allocation.
+func readExact(r io.Reader, n uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	if n < 1<<20 {
+		buf.Grow(int(n))
+	}
+	copied, err := io.Copy(&buf, io.LimitReader(r, int64(n)))
+	if err != nil {
+		return nil, err
+	}
+	if uint64(copied) != n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadSnapshotMeta decodes only the meta section — both layouts place
+// it so the (much larger) inference payload is never deserialized.
 func ReadSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
 	var meta SnapshotMeta
-	metaLen, err := readSnapshotHeader(r)
+	version, err := readSnapshotMagic(r)
 	if err != nil {
 		return meta, err
 	}
-	if err := gob.NewDecoder(io.LimitReader(r, int64(metaLen))).Decode(&meta); err != nil {
-		return meta, fmt.Errorf("snapshot: decode meta: %w", err)
+	switch version {
+	case 1:
+		metaLen, err := readSnapshotHeaderV1(r)
+		if err != nil {
+			return meta, err
+		}
+		if err := gob.NewDecoder(io.LimitReader(r, int64(metaLen))).Decode(&meta); err != nil {
+			return meta, fmt.Errorf("snapshot: decode meta: %w", err)
+		}
+		return meta, nil
+	case SnapshotVersionV2:
+		s, err := readAllV2(r)
+		if err != nil {
+			return meta, err
+		}
+		return s.meta, nil
+	default:
+		return meta, fmt.Errorf("snapshot: unsupported format version %d", version)
 	}
-	return meta, nil
 }
 
-// ReadSnapshot decodes a snapshot written by WriteSnapshot, rebuilding
-// the full query index (Labels, Excluded, Lookup).
+// ReadSnapshot decodes a snapshot of either format version, rebuilding
+// the full heap query index (Labels, Excluded, Lookup).
 func ReadSnapshot(r io.Reader) (*Inferences, SnapshotMeta, error) {
 	var meta SnapshotMeta
-	metaLen, err := readSnapshotHeader(r)
+	version, err := readSnapshotMagic(r)
 	if err != nil {
 		return nil, meta, err
 	}
-	metaRaw := make([]byte, metaLen)
-	if _, err := io.ReadFull(r, metaRaw); err != nil {
+	switch version {
+	case 1:
+		return readSnapshotV1(r)
+	case SnapshotVersionV2:
+		s, err := readAllV2(r)
+		if err != nil {
+			return nil, meta, err
+		}
+		// The streamed read already holds every byte, so deep-verify the
+		// section checksums — matching the v1 path's whole-body CRC.
+		// (OpenSnapshotMmap intentionally skips this to stay O(1).)
+		if err := VerifySnapshotV2(s.data); err != nil {
+			return nil, meta, err
+		}
+		return s.materialize(), s.meta, nil
+	default:
+		return nil, meta, fmt.Errorf("snapshot: unsupported format version %d", version)
+	}
+}
+
+// readSnapshotV1 decodes the gob layout, magic already consumed.
+func readSnapshotV1(r io.Reader) (*Inferences, SnapshotMeta, error) {
+	var meta SnapshotMeta
+	metaLen, err := readSnapshotHeaderV1(r)
+	if err != nil {
+		return nil, meta, err
+	}
+	metaRaw, err := readExact(r, uint64(metaLen))
+	if err != nil {
 		return nil, meta, fmt.Errorf("snapshot: short meta: %w", err)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(metaRaw)).Decode(&meta); err != nil {
@@ -195,8 +279,8 @@ func ReadSnapshot(r io.Reader) (*Inferences, SnapshotMeta, error) {
 	if bodyLen > maxSnapshotSection {
 		return nil, meta, fmt.Errorf("snapshot: implausible body length %d", bodyLen)
 	}
-	bodyRaw := make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, bodyRaw); err != nil {
+	bodyRaw, err := readExact(r, bodyLen)
+	if err != nil {
 		return nil, meta, fmt.Errorf("snapshot: short body: %w", err)
 	}
 	var wantCRC uint32
@@ -234,4 +318,18 @@ func ReadSnapshot(r io.Reader) (*Inferences, SnapshotMeta, error) {
 	}
 	inf.buildIndex(excludedStats)
 	return inf, meta, nil
+}
+
+// VerifySnapshot fully validates a snapshot of either format version:
+// v1 is decoded end to end (which checks its body CRC), v2 gets the
+// deep section-CRC and invariant pass of VerifySnapshotV2.
+func VerifySnapshot(data []byte) error {
+	if len(data) < 10 {
+		return fmt.Errorf("snapshot: short header (%d bytes)", len(data))
+	}
+	if data[9] == SnapshotVersionV2 && bytes.Equal(data[:9], snapshotMagic[:9]) {
+		return VerifySnapshotV2(data)
+	}
+	_, _, err := ReadSnapshot(bytes.NewReader(data))
+	return err
 }

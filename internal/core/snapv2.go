@@ -1,0 +1,602 @@
+// Snapshot format version 2: a flat, pointer-free, 8-byte-aligned
+// layout designed to be mmap-ed and queried in place. Where v1 gob-
+// encodes the inference set (so a reader must deserialize the whole
+// body into the heap), v2 writes the query indexes out verbatim as
+// fixed-width little-endian record arrays behind a section table:
+//
+//	[9]byte  magic "BGPINTSNP"
+//	byte     version = 2
+//	[6]byte  zero padding
+//	uint64   total file size (self-check against truncation)
+//	uint32   section count
+//	uint32   IEEE CRC-32 of the section table bytes
+//	count ×  32-byte section entries:
+//	           uint32 kind, uint32 pad,
+//	           uint64 offset, uint64 length,
+//	           uint32 IEEE CRC-32 of the section bytes, uint32 pad
+//	...      sections, each starting on an 8-byte boundary
+//
+// Sections (offsets from file start, every record little-endian):
+//
+//	meta (1)     gob(SnapshotMeta) — provenance, readable alone
+//	stats (2)    64 bytes: classifier options + precomputed counters,
+//	             so Counts/ExcludedCount are O(1) on a mapped snapshot
+//	clusters (3) n × 48-byte records sorted by (alpha, lo):
+//	             u16 alpha, u16 lo, u16 hi, u8 label, u8 flags,
+//	             u32 memberStart, u32 memberCount, f64 ratio,
+//	             i64 onPathSum, i64 offPathSum, u64 reserved
+//	members (4)  n × 24-byte CommunityStats records grouped by cluster:
+//	             u32 comm, u32 pad, i64 onPath, i64 offPath
+//	lookup (5)   n × 24-byte records sorted by community:
+//	             u32 comm, i32 cluster (≥0: cluster index;
+//	             <0: negated ExcludeReason), i64 onPath, i64 offPath
+//
+// Opening a v2 snapshot is O(sections): validate the header and table,
+// decode the tiny meta/stats sections, and point slices at the record
+// arrays. Lookups binary-search the lookup section directly against
+// the mapped pages — no deserialization, no per-corpus heap, and cold
+// start independent of corpus size. Section CRCs are verified by
+// VerifySnapshotV2 (tools, fuzzing), not on open, to keep open O(1).
+package core
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"slices"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+)
+
+// SnapshotVersionV2 is the format version byte of the mmap-able layout.
+const SnapshotVersionV2 = 2
+
+// v2 section kinds.
+const (
+	secMeta     = 1
+	secStats    = 2
+	secClusters = 3
+	secMembers  = 4
+	secLookup   = 5
+)
+
+// v2 fixed sizes.
+const (
+	v2HeaderLen     = 32
+	v2SectionLen    = 32 // one section-table entry
+	v2StatsLen      = 64
+	v2ClusterRecLen = 48
+	v2MemberRecLen  = 24
+	v2LookupRecLen  = 24
+
+	// v2MaxSections bounds the section count a header may claim, so a
+	// corrupt table cannot demand absurd allocations.
+	v2MaxSections = 64
+)
+
+// stats-section flag bits.
+const (
+	v2FlagDisableExclusions = 1 << 0
+	v2FlagPooledRatio       = 1 << 1
+)
+
+// cluster-record flag bits.
+const (
+	v2ClusterPureOnPath  = 1 << 0
+	v2ClusterPureOffPath = 1 << 1
+)
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// v2LookupEntry is the writer-side shape of one lookup record.
+type v2LookupEntry struct {
+	comm    uint32
+	cluster int32
+	on, off int64
+}
+
+// WriteSnapshotV2 serializes the inferences in the flat v2 layout.
+// The output is deterministic: identical inferences produce identical
+// bytes regardless of map iteration order.
+func WriteSnapshotV2(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
+	var metaBuf bytes.Buffer
+	if err := gob.NewEncoder(&metaBuf).Encode(&meta); err != nil {
+		return fmt.Errorf("snapshot: encode meta: %w", err)
+	}
+
+	// Clusters in canonical (alpha, lo, hi) order; the classifier
+	// already emits them sorted, but the format guarantees it so mapped
+	// readers can binary-search per-α cluster ranges.
+	order := make([]int, len(inf.Clusters))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		ca, cb := &inf.Clusters[a], &inf.Clusters[b]
+		if c := cmp.Compare(ca.Alpha, cb.Alpha); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(ca.Lo, cb.Lo); c != 0 {
+			return c
+		}
+		return cmp.Compare(ca.Hi, cb.Hi)
+	})
+
+	clusterBuf := make([]byte, 0, len(order)*v2ClusterRecLen)
+	var memberBuf []byte
+	lookups := make([]v2LookupEntry, 0, len(inf.Labels)+len(inf.Excluded))
+	var rec [v2ClusterRecLen]byte
+	for newIdx, oi := range order {
+		cl := &inf.Clusters[oi]
+		memberStart := len(memberBuf) / v2MemberRecLen
+		var onSum, offSum int64
+		for i := range cl.Members {
+			m := &cl.Members[i]
+			var mr [v2MemberRecLen]byte
+			binary.LittleEndian.PutUint32(mr[0:], uint32(m.Comm))
+			binary.LittleEndian.PutUint64(mr[8:], uint64(int64(m.OnPath)))
+			binary.LittleEndian.PutUint64(mr[16:], uint64(int64(m.OffPath)))
+			memberBuf = append(memberBuf, mr[:]...)
+			onSum += int64(m.OnPath)
+			offSum += int64(m.OffPath)
+			lookups = append(lookups, v2LookupEntry{
+				comm: uint32(m.Comm), cluster: int32(newIdx),
+				on: int64(m.OnPath), off: int64(m.OffPath),
+			})
+		}
+		rec = [v2ClusterRecLen]byte{}
+		binary.LittleEndian.PutUint16(rec[0:], cl.Alpha)
+		binary.LittleEndian.PutUint16(rec[2:], cl.Lo)
+		binary.LittleEndian.PutUint16(rec[4:], cl.Hi)
+		rec[6] = byte(cl.Label)
+		var flags byte
+		if cl.PureOnPath {
+			flags |= v2ClusterPureOnPath
+		}
+		if cl.PureOffPath {
+			flags |= v2ClusterPureOffPath
+		}
+		rec[7] = flags
+		binary.LittleEndian.PutUint32(rec[8:], uint32(memberStart))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(len(cl.Members)))
+		binary.LittleEndian.PutUint64(rec[16:], math.Float64bits(cl.Ratio))
+		binary.LittleEndian.PutUint64(rec[24:], uint64(onSum))
+		binary.LittleEndian.PutUint64(rec[32:], uint64(offSum))
+		clusterBuf = append(clusterBuf, rec[:]...)
+	}
+
+	for c, reason := range inf.Excluded {
+		l := inf.Lookup(c)
+		lookups = append(lookups, v2LookupEntry{
+			comm: uint32(c), cluster: -int32(reason),
+			on: int64(l.Stats.OnPath), off: int64(l.Stats.OffPath),
+		})
+	}
+	slices.SortFunc(lookups, func(a, b v2LookupEntry) int {
+		return cmp.Compare(a.comm, b.comm)
+	})
+	lookupBuf := make([]byte, 0, len(lookups)*v2LookupRecLen)
+	for _, e := range lookups {
+		var lr [v2LookupRecLen]byte
+		binary.LittleEndian.PutUint32(lr[0:], e.comm)
+		binary.LittleEndian.PutUint32(lr[4:], uint32(e.cluster))
+		binary.LittleEndian.PutUint64(lr[8:], uint64(e.on))
+		binary.LittleEndian.PutUint64(lr[16:], uint64(e.off))
+		lookupBuf = append(lookupBuf, lr[:]...)
+	}
+
+	action, information := inf.Counts()
+	var statsBuf [v2StatsLen]byte
+	binary.LittleEndian.PutUint64(statsBuf[0:], uint64(int64(inf.Opts.MinGap)))
+	binary.LittleEndian.PutUint64(statsBuf[8:], math.Float64bits(inf.Opts.RatioThreshold))
+	var oflags uint64
+	if inf.Opts.DisableExclusions {
+		oflags |= v2FlagDisableExclusions
+	}
+	if inf.Opts.PooledRatio {
+		oflags |= v2FlagPooledRatio
+	}
+	binary.LittleEndian.PutUint64(statsBuf[16:], oflags)
+	binary.LittleEndian.PutUint64(statsBuf[24:], uint64(int64(action)))
+	binary.LittleEndian.PutUint64(statsBuf[32:], uint64(int64(information)))
+	binary.LittleEndian.PutUint64(statsBuf[40:], uint64(int64(len(lookups))))
+
+	// Assemble the section table; every section starts 8-byte aligned.
+	type section struct {
+		kind uint32
+		body []byte
+	}
+	sections := []section{
+		{secMeta, metaBuf.Bytes()},
+		{secStats, statsBuf[:]},
+		{secClusters, clusterBuf},
+		{secMembers, memberBuf},
+		{secLookup, lookupBuf},
+	}
+	tableLen := len(sections) * v2SectionLen
+	off := v2HeaderLen + tableLen
+	table := make([]byte, 0, tableLen)
+	totalSize := off
+	offsets := make([]int, len(sections))
+	for i, s := range sections {
+		totalSize = align8(totalSize)
+		offsets[i] = totalSize
+		totalSize += len(s.body)
+		var ent [v2SectionLen]byte
+		binary.LittleEndian.PutUint32(ent[0:], s.kind)
+		binary.LittleEndian.PutUint64(ent[8:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint64(ent[16:], uint64(len(s.body)))
+		binary.LittleEndian.PutUint32(ent[24:], crc32.ChecksumIEEE(s.body))
+		table = append(table, ent[:]...)
+	}
+
+	var hdr [v2HeaderLen]byte
+	copy(hdr[:9], snapshotMagic[:9])
+	hdr[9] = SnapshotVersionV2
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(totalSize))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(sections)))
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.ChecksumIEEE(table))
+
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(table); err != nil {
+		return err
+	}
+	written := v2HeaderLen + tableLen
+	var pad [8]byte
+	for i, s := range sections {
+		if n := offsets[i] - written; n > 0 {
+			if _, err := w.Write(pad[:n]); err != nil {
+				return err
+			}
+			written += n
+		}
+		if _, err := w.Write(s.body); err != nil {
+			return err
+		}
+		written += len(s.body)
+	}
+	return nil
+}
+
+// snapV2 is a parsed view over a v2 snapshot's bytes — either an
+// mmap-ed region or a heap buffer. It holds only slice views into data
+// plus the decoded tiny sections; nothing per-record is materialized.
+type snapV2 struct {
+	data []byte
+	meta SnapshotMeta
+
+	// decoded stats section
+	minGap            int
+	ratioThreshold    float64
+	disableExclusions bool
+	pooledRatio       bool
+	action            int
+	information       int
+	observed          int
+
+	clusters []byte // whole clusters section; len % v2ClusterRecLen == 0
+	members  []byte // whole members section; len % v2MemberRecLen == 0
+	lookup   []byte // whole lookup section; len % v2LookupRecLen == 0
+}
+
+// parseSnapshotV2 validates the header and section table and builds
+// the section views. The work is O(section count) plus decoding the
+// small meta gob — independent of corpus size. Section payload CRCs
+// are NOT verified here (see VerifySnapshotV2); record accessors are
+// bounds-checked so a corrupt body yields wrong answers, not panics.
+func parseSnapshotV2(data []byte) (*snapV2, error) {
+	if len(data) < v2HeaderLen {
+		return nil, fmt.Errorf("snapshot: short v2 header (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:9], snapshotMagic[:9]) {
+		return nil, fmt.Errorf("snapshot: bad magic %q", data[:9])
+	}
+	if data[9] != SnapshotVersionV2 {
+		return nil, fmt.Errorf("snapshot: not a v2 snapshot (version %d)", data[9])
+	}
+	if size := binary.LittleEndian.Uint64(data[16:]); size != uint64(len(data)) {
+		return nil, fmt.Errorf("snapshot: file size %d does not match header %d (truncated?)",
+			len(data), size)
+	}
+	nsec := int(binary.LittleEndian.Uint32(data[24:]))
+	if nsec <= 0 || nsec > v2MaxSections {
+		return nil, fmt.Errorf("snapshot: implausible section count %d", nsec)
+	}
+	tableEnd := v2HeaderLen + nsec*v2SectionLen
+	if tableEnd > len(data) {
+		return nil, fmt.Errorf("snapshot: section table extends past file end")
+	}
+	table := data[v2HeaderLen:tableEnd]
+	if got, want := crc32.ChecksumIEEE(table), binary.LittleEndian.Uint32(data[28:]); got != want {
+		return nil, fmt.Errorf("snapshot: section table checksum mismatch (corrupt file): got %08x want %08x", got, want)
+	}
+
+	s := &snapV2{data: data}
+	var metaRaw, statsRaw []byte
+	seen := make(map[uint32]bool, nsec)
+	for i := 0; i < nsec; i++ {
+		ent := table[i*v2SectionLen:]
+		kind := binary.LittleEndian.Uint32(ent[0:])
+		off := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		if off%8 != 0 {
+			return nil, fmt.Errorf("snapshot: section %d (kind %d) misaligned at offset %d", i, kind, off)
+		}
+		if off > uint64(len(data)) || length > uint64(len(data))-off {
+			return nil, fmt.Errorf("snapshot: section %d (kind %d) [%d,+%d) extends past file end", i, kind, off, length)
+		}
+		if seen[kind] {
+			return nil, fmt.Errorf("snapshot: duplicate section kind %d", kind)
+		}
+		seen[kind] = true
+		body := data[off : off+length]
+		switch kind {
+		case secMeta:
+			metaRaw = body
+		case secStats:
+			statsRaw = body
+		case secClusters:
+			if length%v2ClusterRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: clusters section length %d not a multiple of %d", length, v2ClusterRecLen)
+			}
+			s.clusters = body
+		case secMembers:
+			if length%v2MemberRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: members section length %d not a multiple of %d", length, v2MemberRecLen)
+			}
+			s.members = body
+		case secLookup:
+			if length%v2LookupRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: lookup section length %d not a multiple of %d", length, v2LookupRecLen)
+			}
+			s.lookup = body
+		default:
+			// Unknown sections are skipped: future writers may append
+			// kinds old readers do not understand.
+		}
+	}
+	if metaRaw == nil || statsRaw == nil || s.clusters == nil || s.members == nil || s.lookup == nil {
+		return nil, fmt.Errorf("snapshot: missing required section (meta/stats/clusters/members/lookup)")
+	}
+	if len(statsRaw) != v2StatsLen {
+		return nil, fmt.Errorf("snapshot: stats section is %d bytes, want %d", len(statsRaw), v2StatsLen)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(metaRaw)).Decode(&s.meta); err != nil {
+		return nil, fmt.Errorf("snapshot: decode meta: %w", err)
+	}
+
+	s.minGap = int(int64(binary.LittleEndian.Uint64(statsRaw[0:])))
+	s.ratioThreshold = math.Float64frombits(binary.LittleEndian.Uint64(statsRaw[8:]))
+	oflags := binary.LittleEndian.Uint64(statsRaw[16:])
+	s.disableExclusions = oflags&v2FlagDisableExclusions != 0
+	s.pooledRatio = oflags&v2FlagPooledRatio != 0
+	s.action = int(int64(binary.LittleEndian.Uint64(statsRaw[24:])))
+	s.information = int(int64(binary.LittleEndian.Uint64(statsRaw[32:])))
+	s.observed = int(int64(binary.LittleEndian.Uint64(statsRaw[40:])))
+	if s.observed != s.lookupCount() {
+		return nil, fmt.Errorf("snapshot: stats claim %d observed communities, lookup section holds %d",
+			s.observed, s.lookupCount())
+	}
+	if s.action < 0 || s.information < 0 || s.action+s.information > s.observed {
+		return nil, fmt.Errorf("snapshot: implausible counters (action %d, information %d, observed %d)",
+			s.action, s.information, s.observed)
+	}
+	return s, nil
+}
+
+func (s *snapV2) clusterCount() int { return len(s.clusters) / v2ClusterRecLen }
+func (s *snapV2) lookupCount() int  { return len(s.lookup) / v2LookupRecLen }
+func (s *snapV2) memberCount() int  { return len(s.members) / v2MemberRecLen }
+
+// lookupAt decodes the i-th lookup record straight from the backing
+// pages. i must be in [0, lookupCount()).
+func (s *snapV2) lookupAt(i int) (comm uint32, cluster int32, on, off int64) {
+	b := s.lookup[i*v2LookupRecLen : i*v2LookupRecLen+v2LookupRecLen]
+	comm = binary.LittleEndian.Uint32(b[0:])
+	cluster = int32(binary.LittleEndian.Uint32(b[4:]))
+	on = int64(binary.LittleEndian.Uint64(b[8:]))
+	off = int64(binary.LittleEndian.Uint64(b[16:]))
+	return
+}
+
+// findLookup binary-searches the comm-sorted lookup section.
+func (s *snapV2) findLookup(comm uint32) (int, bool) {
+	lo, hi := 0, s.lookupCount()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		c := binary.LittleEndian.Uint32(s.lookup[mid*v2LookupRecLen:])
+		switch {
+		case c < comm:
+			lo = mid + 1
+		case c > comm:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// clusterSummaryAt decodes the i-th cluster record into its flat
+// summary. ok is false when i is out of range (possible with a corrupt
+// lookup section pointing past the cluster array).
+func (s *snapV2) clusterSummaryAt(i int) (cs ClusterSummary, ok bool) {
+	if i < 0 || i >= s.clusterCount() {
+		return cs, false
+	}
+	b := s.clusters[i*v2ClusterRecLen : i*v2ClusterRecLen+v2ClusterRecLen]
+	cs.Alpha = binary.LittleEndian.Uint16(b[0:])
+	cs.Lo = binary.LittleEndian.Uint16(b[2:])
+	cs.Hi = binary.LittleEndian.Uint16(b[4:])
+	cs.Label = dict.Category(int8(b[6]))
+	cs.PureOnPath = b[7]&v2ClusterPureOnPath != 0
+	cs.PureOffPath = b[7]&v2ClusterPureOffPath != 0
+	cs.Size = int(binary.LittleEndian.Uint32(b[12:]))
+	cs.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(b[16:]))
+	cs.OnPath = int64(binary.LittleEndian.Uint64(b[24:]))
+	cs.OffPath = int64(binary.LittleEndian.Uint64(b[32:]))
+	return cs, true
+}
+
+// clusterLabel reads just the i-th cluster's label byte.
+func (s *snapV2) clusterLabel(i int) dict.Category {
+	if i < 0 || i >= s.clusterCount() {
+		return dict.CatUnknown
+	}
+	return dict.Category(int8(s.clusters[i*v2ClusterRecLen+6]))
+}
+
+// searchAlpha returns the index of the first cluster record with
+// Alpha >= alpha, using the (alpha, lo) sort order.
+func (s *snapV2) searchAlpha(alpha uint16, n int) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		a := binary.LittleEndian.Uint16(s.clusters[mid*v2ClusterRecLen:])
+		if a < alpha {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// clusterMemberRange returns the i-th cluster's member index range,
+// clamped to the members section so corrupt records cannot walk out of
+// bounds.
+func (s *snapV2) clusterMemberRange(i int) (start, count int) {
+	if i < 0 || i >= s.clusterCount() {
+		return 0, 0
+	}
+	b := s.clusters[i*v2ClusterRecLen:]
+	start = int(binary.LittleEndian.Uint32(b[8:]))
+	count = int(binary.LittleEndian.Uint32(b[12:]))
+	total := s.memberCount()
+	if start > total {
+		return 0, 0
+	}
+	if count > total-start {
+		count = total - start
+	}
+	return start, count
+}
+
+// memberAt decodes one member record. i must be in [0, memberCount()).
+func (s *snapV2) memberAt(i int) CommunityStats {
+	b := s.members[i*v2MemberRecLen : i*v2MemberRecLen+v2MemberRecLen]
+	return CommunityStats{
+		Comm:    bgp.Community(binary.LittleEndian.Uint32(b[0:])),
+		OnPath:  int(int64(binary.LittleEndian.Uint64(b[8:]))),
+		OffPath: int(int64(binary.LittleEndian.Uint64(b[16:]))),
+	}
+}
+
+// options reconstructs the serializable classifier options.
+func (s *snapV2) options() Options {
+	return Options{
+		MinGap:            s.minGap,
+		RatioThreshold:    s.ratioThreshold,
+		DisableExclusions: s.disableExclusions,
+		PooledRatio:       s.pooledRatio,
+	}
+}
+
+// materialize rebuilds a heap *Inferences equivalent to what the v1
+// round trip of the same inferences would produce.
+func (s *snapV2) materialize() *Inferences {
+	inf := &Inferences{
+		Labels:   make(map[bgp.Community]dict.Category),
+		Excluded: make(map[bgp.Community]ExcludeReason),
+		Opts:     s.options(),
+	}
+	nc := s.clusterCount()
+	inf.Clusters = make([]Cluster, 0, nc)
+	for i := 0; i < nc; i++ {
+		cs, _ := s.clusterSummaryAt(i)
+		start, count := s.clusterMemberRange(i)
+		cl := Cluster{
+			Alpha: cs.Alpha, Lo: cs.Lo, Hi: cs.Hi, Label: cs.Label,
+			PureOnPath: cs.PureOnPath, PureOffPath: cs.PureOffPath,
+			Ratio:   cs.Ratio,
+			Members: make([]CommunityStats, count),
+		}
+		for j := 0; j < count; j++ {
+			cl.Members[j] = s.memberAt(start + j)
+		}
+		inf.Clusters = append(inf.Clusters, cl)
+		for _, m := range cl.Members {
+			inf.Labels[m.Comm] = cl.Label
+		}
+	}
+	excludedStats := make(map[bgp.Community]CommunityStats)
+	for i, n := 0, s.lookupCount(); i < n; i++ {
+		comm, cluster, on, off := s.lookupAt(i)
+		if cluster >= 0 {
+			continue
+		}
+		c := bgp.Community(comm)
+		reason := ExcludeReason(min(-int64(cluster), int64(ExcludeUnobserved)))
+		inf.Excluded[c] = reason
+		excludedStats[c] = CommunityStats{Comm: c, OnPath: int(on), OffPath: int(off)}
+	}
+	inf.buildIndex(excludedStats)
+	return inf
+}
+
+// VerifySnapshotV2 runs the full integrity pass a plain open skips for
+// O(1) cold start: per-section CRCs, lookup-section sort order, and
+// cluster member/index ranges. Tools (snapconvert -verify) and tests
+// use it; serving replicas trust the writer plus the table checksum.
+func VerifySnapshotV2(data []byte) error {
+	s, err := parseSnapshotV2(data)
+	if err != nil {
+		return err
+	}
+	nsec := int(binary.LittleEndian.Uint32(data[24:]))
+	table := data[v2HeaderLen : v2HeaderLen+nsec*v2SectionLen]
+	for i := 0; i < nsec; i++ {
+		ent := table[i*v2SectionLen:]
+		kind := binary.LittleEndian.Uint32(ent[0:])
+		off := binary.LittleEndian.Uint64(ent[8:])
+		length := binary.LittleEndian.Uint64(ent[16:])
+		want := binary.LittleEndian.Uint32(ent[24:])
+		if got := crc32.ChecksumIEEE(data[off : off+length]); got != want {
+			return fmt.Errorf("snapshot: section kind %d checksum mismatch (corrupt file): got %08x want %08x", kind, got, want)
+		}
+	}
+	var prev uint32
+	for i, n := 0, s.lookupCount(); i < n; i++ {
+		comm, cluster, _, _ := s.lookupAt(i)
+		if i > 0 && comm <= prev {
+			return fmt.Errorf("snapshot: lookup section not strictly sorted at record %d", i)
+		}
+		prev = comm
+		if cluster >= 0 {
+			if int(cluster) >= s.clusterCount() {
+				return fmt.Errorf("snapshot: lookup record %d references cluster %d of %d", i, cluster, s.clusterCount())
+			}
+		} else if -cluster > int32(ExcludeNeverOnPath) {
+			return fmt.Errorf("snapshot: lookup record %d has unknown exclusion reason %d", i, -cluster)
+		}
+	}
+	for i, n := 0, s.clusterCount(); i < n; i++ {
+		b := s.clusters[i*v2ClusterRecLen:]
+		start := int(binary.LittleEndian.Uint32(b[8:]))
+		count := int(binary.LittleEndian.Uint32(b[12:]))
+		if start > s.memberCount() || count > s.memberCount()-start {
+			return fmt.Errorf("snapshot: cluster %d members [%d,+%d) exceed member section (%d records)",
+				i, start, count, s.memberCount())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/dict"
+	"bgpintent/internal/simulate"
+	"bgpintent/internal/topology"
+)
+
+// writeV2 serializes inf into the flat v2 layout.
+func writeV2(t *testing.T, inf *Inferences, meta SnapshotMeta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSnapshotV2(&buf, inf, meta); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openMapped writes data to a temp file and memory-maps it.
+func openMapped(t *testing.T, data []byte) *Mapped {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenSnapshotMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// simInferences classifies a full synthetic day — a corpus large
+// enough to exercise multi-cluster ASes and every exclusion kind.
+func simInferences(t testing.TB) (*TupleStore, *Inferences) {
+	topo, err := topology.Generate(topology.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simulate.New(topo, simulate.TinyConfig())
+	ts := NewTupleStore()
+	for _, v := range sim.RunDay(0).Views {
+		ts.AddView(v.VP, v.Path, v.Comms)
+	}
+	return ts, Classify(ts, DefaultOptions())
+}
+
+// TestSnapshotV2VerdictEquivalence is the byte-level contract: every
+// community's verdict through the mmap path must equal the heap
+// path's, on both the hand-built and the simulated corpus.
+func TestSnapshotV2VerdictEquivalence(t *testing.T) {
+	check := func(t *testing.T, ts *TupleStore, inf *Inferences) {
+		t.Helper()
+		meta := SnapshotMeta{CreatedUnix: 1714521600, Source: "v2-test"}
+		m := openMapped(t, writeV2(t, inf, meta))
+		if m.Meta() != meta {
+			t.Fatalf("meta = %+v, want %+v", m.Meta(), meta)
+		}
+		probes := append([]bgp.Community{}, ts.Communities()...)
+		probes = append(probes, bgp.NewCommunity(4242, 4242)) // unobserved
+		for _, c := range probes {
+			if hv, mv := inf.Verdict(c), m.Verdict(c); hv != mv {
+				t.Fatalf("Verdict(%v): heap %+v, mmap %+v", c, hv, mv)
+			}
+			if hc, mc := inf.Category(c), m.Category(c); hc != mc {
+				t.Fatalf("Category(%v): heap %v, mmap %v", c, hc, mc)
+			}
+		}
+		if h, mm := inf.Observed(), m.Observed(); h != mm {
+			t.Fatalf("Observed: heap %d, mmap %d", h, mm)
+		}
+		ha, hi := inf.Counts()
+		ma, mi := m.Counts()
+		if ha != ma || hi != mi {
+			t.Fatalf("Counts: heap (%d,%d), mmap (%d,%d)", ha, hi, ma, mi)
+		}
+		if h, mm := inf.ExcludedCount(), m.ExcludedCount(); h != mm {
+			t.Fatalf("ExcludedCount: heap %d, mmap %d", h, mm)
+		}
+		if h, mm := inf.ClusterCount(), m.ClusterCount(); h != mm {
+			t.Fatalf("ClusterCount: heap %d, mmap %d", h, mm)
+		}
+		if h, mm := inf.Options(), m.Options(); h.MinGap != mm.MinGap ||
+			h.RatioThreshold != mm.RatioThreshold || h.DisableExclusions != mm.DisableExclusions {
+			t.Fatalf("Options: heap %+v, mmap %+v", h, mm)
+		}
+		// Labeled sets match (heap iterates a map, so compare as sets).
+		hl := map[bgp.Community]dict.Category{}
+		inf.EachLabeled(func(c bgp.Community, cat dict.Category) bool { hl[c] = cat; return true })
+		n := 0
+		m.EachLabeled(func(c bgp.Community, cat dict.Category) bool {
+			n++
+			if got, ok := hl[c]; !ok || got != cat {
+				t.Fatalf("EachLabeled(%v)=%d, heap has %d (present=%v)", c, cat, got, ok)
+			}
+			return true
+		})
+		if n != len(hl) {
+			t.Fatalf("EachLabeled yielded %d communities, heap has %d", n, len(hl))
+		}
+		// Cluster summaries match index-for-index: both sides sort by
+		// (alpha, lo).
+		for i := 0; i < inf.ClusterCount(); i++ {
+			if h, mm := inf.ClusterSummaryAt(i), m.ClusterSummaryAt(i); h != mm {
+				t.Fatalf("ClusterSummaryAt(%d): heap %+v, mmap %+v", i, h, mm)
+			}
+		}
+	}
+	t.Run("hand-built", func(t *testing.T) {
+		ts, inf := buildTestInferences(t)
+		check(t, ts, inf)
+	})
+	t.Run("simulated", func(t *testing.T) {
+		ts, inf := simInferences(t)
+		check(t, ts, inf)
+	})
+}
+
+// TestSnapshotV2Materialize round-trips a v2 stream back onto the heap
+// through the version-dispatching ReadSnapshot.
+func TestSnapshotV2Materialize(t *testing.T) {
+	_, inf := simInferences(t)
+	meta := SnapshotMeta{CreatedUnix: 1714521600, Source: "v2-test", Communities: 4}
+	data := writeV2(t, inf, meta)
+
+	gotMeta, err := ReadSnapshotMeta(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+
+	got, gotMeta2, err := ReadSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta2 != meta {
+		t.Fatalf("ReadSnapshot meta = %+v, want %+v", gotMeta2, meta)
+	}
+	if !reflect.DeepEqual(got.Labels, inf.Labels) {
+		t.Fatal("labels differ after v2 materialize")
+	}
+	if !reflect.DeepEqual(got.Clusters, inf.Clusters) {
+		t.Fatal("clusters differ after v2 materialize")
+	}
+	if !reflect.DeepEqual(got.Excluded, inf.Excluded) {
+		t.Fatalf("exclusions differ after v2 materialize: got %v want %v", got.Excluded, inf.Excluded)
+	}
+	// Rebuilt index answers the full verdict, evidence included.
+	for c := range inf.Labels {
+		if a, b := inf.Verdict(c), got.Verdict(c); a != b {
+			t.Fatalf("Verdict(%v) differs after materialize: %+v vs %+v", c, a, b)
+		}
+	}
+}
+
+// TestSnapshotV2Deterministic: identical inferences, identical bytes —
+// the property the replica's content-hash poll gate relies on.
+func TestSnapshotV2Deterministic(t *testing.T) {
+	_, inf := simInferences(t)
+	meta := SnapshotMeta{CreatedUnix: 1714521600, Source: "det"}
+	a := writeV2(t, inf, meta)
+	b := writeV2(t, inf, meta)
+	if !bytes.Equal(a, b) {
+		t.Fatal("v2 snapshot bytes are not deterministic")
+	}
+}
+
+// TestSnapshotV2CorruptionDetected: structural damage fails the O(1)
+// open; payload damage is caught by the deep verifier (open stays
+// cheap by design and does not hash every arena).
+func TestSnapshotV2CorruptionDetected(t *testing.T) {
+	_, inf := buildTestInferences(t)
+	good := writeV2(t, inf, SnapshotMeta{Source: "corrupt-test"})
+	if err := VerifySnapshotV2(good); err != nil {
+		t.Fatalf("pristine snapshot fails verify: %v", err)
+	}
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		f(b)
+		return b
+	}
+	parse := func(b []byte) error {
+		_, err := parseSnapshotV2(b)
+		return err
+	}
+
+	if err := parse(mutate(func(b []byte) { b[0] = 'X' })); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if err := parse(mutate(func(b []byte) { b[9] = 99 })); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if err := parse(good[:len(good)/2]); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// Corrupt the section table (byte past the 32-byte header): the
+	// table CRC is part of the O(1) open.
+	if err := parse(mutate(func(b []byte) { b[v2HeaderLen+8] ^= 0xff })); err == nil {
+		t.Fatal("corrupt section table accepted")
+	}
+	// Flip a byte in the last arena: open may accept it (deferred
+	// hashing), but the deep verifier must not.
+	payload := mutate(func(b []byte) { b[len(b)-4] ^= 0xff })
+	if err := VerifySnapshotV2(payload); err == nil {
+		t.Fatal("corrupt arena passed deep verification")
+	}
+	// And the streaming reader (which verifies) must reject it too.
+	if _, _, err := ReadSnapshot(bytes.NewReader(payload)); err == nil {
+		t.Fatal("corrupt arena accepted by ReadSnapshot")
+	}
+}
+
+// TestOpenSnapshotMmapFast: opening is O(1) in corpus size — the whole
+// point of the flat layout. 10ms is generous (the budget covers CI
+// noise); a linear open would blow through it as corpora grow.
+func TestOpenSnapshotMmapFast(t *testing.T) {
+	_, inf := simInferences(t)
+	path := filepath.Join(t.TempDir(), "fast.snap")
+	var buf bytes.Buffer
+	if err := WriteSnapshotV2(&buf, inf, SnapshotMeta{Source: "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		m, err := OpenSnapshotMmap(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		m.Close()
+	}
+	if best > 10*time.Millisecond {
+		t.Errorf("OpenSnapshotMmap best-of-3 = %v, want < 10ms", best)
+	}
+}
+
+// TestMappedVerdictZeroAlloc guards the replica hot path: answering a
+// lookup straight off the mapped pages must not allocate.
+func TestMappedVerdictZeroAlloc(t *testing.T) {
+	ts, inf := simInferences(t)
+	m := openMapped(t, writeV2(t, inf, SnapshotMeta{}))
+	comms := ts.Communities()
+	if len(comms) == 0 {
+		t.Fatal("no communities")
+	}
+	unobserved := bgp.NewCommunity(64999, 64999)
+	var sink Verdict
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, c := range comms {
+			sink = m.Verdict(c)
+		}
+		sink = m.Verdict(unobserved)
+	}); avg != 0 {
+		t.Errorf("Mapped.Verdict allocates %.2f per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestMappedClusterQueries covers the navigation the facade's
+// ClustersFor and member listing use.
+func TestMappedClusterQueries(t *testing.T) {
+	_, inf := simInferences(t)
+	m := openMapped(t, writeV2(t, inf, SnapshotMeta{}))
+
+	// Group heap clusters by alpha for comparison.
+	byAlpha := map[uint16][]ClusterSummary{}
+	for i := 0; i < inf.ClusterCount(); i++ {
+		cs := inf.ClusterSummaryAt(i)
+		byAlpha[cs.Alpha] = append(byAlpha[cs.Alpha], cs)
+	}
+	seen := 0
+	for alpha, want := range byAlpha {
+		lo, hi := m.AlphaClusters(alpha)
+		if hi-lo != len(want) {
+			t.Fatalf("AlphaClusters(%d) spans %d clusters, want %d", alpha, hi-lo, len(want))
+		}
+		for i := lo; i < hi; i++ {
+			cs := m.ClusterSummaryAt(i)
+			if cs.Alpha != alpha {
+				t.Fatalf("cluster %d has alpha %d, want %d", i, cs.Alpha, alpha)
+			}
+			members := m.ClusterMembers(i)
+			if len(members) != cs.Size {
+				t.Fatalf("cluster %d: %d members, want %d", i, len(members), cs.Size)
+			}
+			for _, mc := range members {
+				if mc.Comm.ASN() != alpha || mc.Comm.Value() < cs.Lo || mc.Comm.Value() > cs.Hi {
+					t.Fatalf("member %v outside cluster [%d, %d:%d]", mc.Comm, alpha, cs.Lo, cs.Hi)
+				}
+			}
+			seen++
+		}
+	}
+	if seen != m.ClusterCount() {
+		t.Fatalf("alpha sweep visited %d clusters, index has %d", seen, m.ClusterCount())
+	}
+	// An alpha with no clusters yields an empty range.
+	if lo, hi := m.AlphaClusters(64999); lo != hi {
+		t.Fatalf("AlphaClusters(64999) = [%d,%d), want empty", lo, hi)
+	}
+}

@@ -1,0 +1,154 @@
+// Package loadgen is the closed-loop load harness behind cmd/intentload:
+// it drives an intentd instance with a deterministic, zipf-skewed
+// request mix and reports throughput and latency quantiles in the
+// BENCH_serve.json schema the CI smoke validates.
+package loadgen
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// histSubBits is the log-linear resolution: each power-of-two range is
+// split into 2^histSubBits linear sub-buckets, bounding quantile error
+// at ~1.6% of the value — the same layout HDR histograms use.
+const histSubBits = 6
+
+const histSub = 1 << histSubBits // sub-buckets per power of two
+
+// histBuckets covers values up to 2^63-1 nanoseconds (~292 years):
+// values below histSub land in one linear region, and each of the
+// remaining 63-histSubBits power ranges contributes histSub buckets.
+const histBuckets = histSub + (63-histSubBits)*histSub
+
+// Hist is a log-linear latency histogram over int64 nanoseconds.
+// Recording is constant-time and allocation-free; it is not
+// synchronized — give each worker its own and Merge at the end.
+type Hist struct {
+	counts [histBuckets]int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist {
+	return &Hist{min: int64(^uint64(0) >> 1)}
+}
+
+// bucketIdx maps a non-negative value to its bucket: values below
+// histSub get exact buckets, larger values share a power-of-two range
+// split into histSub linear sub-buckets.
+func bucketIdx(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	pow := bits.Len64(uint64(v)) - 1 // >= histSubBits
+	sub := int(v>>(uint(pow)-histSubBits)) & (histSub - 1)
+	return histSub + (pow-histSubBits)*histSub + sub
+}
+
+// bucketLow returns the lowest value a bucket holds — the value
+// reported for quantiles, so estimates never exceed the true value.
+func bucketLow(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	pow := uint(idx/histSub-1) + histSubBits
+	sub := int64(idx % histSub)
+	return (int64(1) << pow) | (sub << (pow - histSubBits))
+}
+
+// Record adds one observation. Negative values count as zero.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIdx(v)]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.count > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean returns the arithmetic mean, 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded value, 0 when empty.
+func (h *Hist) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded value, 0 when empty.
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Quantile returns the value at quantile q in [0,1]: the smallest
+// bucket lower-bound such that at least q of the observations are at
+// or below it. Exact min/max are substituted at the extremes.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution for logs.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
+		h.count, h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999), h.Max())
+}

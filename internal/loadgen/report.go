@@ -1,0 +1,201 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the BENCH_serve.json schema: one serving-benchmark run,
+// environment first so regressions can be attributed, then the
+// measured throughput/latency. scripts/serve_bench_smoke.sh validates
+// this shape and the CI guard compares P99Micros against the committed
+// baseline.
+type Report struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+
+	Mode            string  `json:"mode"` // "closed" or "open"
+	DurationSeconds float64 `json:"duration_seconds"`
+	Concurrency     int     `json:"concurrency"`
+	TargetRate      float64 `json:"target_rate,omitempty"` // open mode only
+	Seed            int64   `json:"seed"`
+	Paths           int     `json:"paths"` // size of the request-key universe
+
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	DroppedSend int64   `json:"dropped_send,omitempty"`
+	QPS         float64 `json:"qps"`
+
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
+	MeanMicros float64 `json:"mean_us"`
+
+	// RSSBytes is the server's resident set at the end of the run, 0
+	// when unavailable (no /proc or unknown pid).
+	RSSBytes int64 `json:"rss_bytes"`
+}
+
+// BuildReport assembles a Report from a finished run. serverPID
+// locates the intentd process whose RSS is sampled; 0 skips sampling.
+func BuildReport(cfg Config, res *Result, serverPID int) Report {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	r := Report{
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		Mode:            res.Mode,
+		DurationSeconds: cfg.Duration.Seconds(),
+		Concurrency:     cfg.Concurrency,
+		Seed:            cfg.Seed,
+		Paths:           len(cfg.Paths),
+		Requests:        res.Requests,
+		Errors:          res.Errors,
+		DroppedSend:     res.DroppedSend,
+		QPS:             res.QPS,
+		P50Micros:       us(res.Latency.Quantile(0.50)),
+		P90Micros:       us(res.Latency.Quantile(0.90)),
+		P99Micros:       us(res.Latency.Quantile(0.99)),
+		P999Micros:      us(res.Latency.Quantile(0.999)),
+		MaxMicros:       us(res.Latency.Max()),
+		MeanMicros:      res.Latency.Mean() / 1e3,
+	}
+	if res.Mode == ModeOpen {
+		r.TargetRate = cfg.Rate
+	}
+	if serverPID > 0 {
+		if rss, err := ReadRSS(serverPID); err == nil {
+			r.RSSBytes = rss
+		}
+	}
+	return r
+}
+
+// Validate rejects reports that could not have come from a real run,
+// so a broken harness fails the smoke instead of committing zeros.
+func (r Report) Validate() error {
+	switch {
+	case r.GoVersion == "":
+		return fmt.Errorf("report: go_version missing")
+	case r.Mode != ModeClosed && r.Mode != ModeOpen:
+		return fmt.Errorf("report: bad mode %q", r.Mode)
+	case r.DurationSeconds <= 0:
+		return fmt.Errorf("report: non-positive duration")
+	case r.Requests <= 0:
+		return fmt.Errorf("report: no requests completed")
+	case r.Errors == r.Requests:
+		return fmt.Errorf("report: every request failed")
+	case r.QPS <= 0:
+		return fmt.Errorf("report: non-positive qps")
+	case r.P99Micros <= 0:
+		return fmt.Errorf("report: non-positive p99")
+	case r.P50Micros > r.P99Micros || r.P99Micros > r.P999Micros:
+		return fmt.Errorf("report: quantiles out of order (p50=%v p99=%v p999=%v)",
+			r.P50Micros, r.P99Micros, r.P999Micros)
+	}
+	return nil
+}
+
+// CompareBaseline fails when the current p99 regressed more than
+// maxRegress (a fraction: 0.25 allows +25%) over the baseline, or when
+// the error rate worsened past 1%. Throughput is advisory — CI hosts
+// vary too much for a hard QPS gate.
+func CompareBaseline(baseline, current Report, maxRegress float64) error {
+	if baseline.P99Micros <= 0 {
+		return fmt.Errorf("baseline has no p99")
+	}
+	limit := baseline.P99Micros * (1 + maxRegress)
+	if current.P99Micros > limit {
+		return fmt.Errorf("p99 regression: %.1fµs > %.1fµs (baseline %.1fµs +%d%%)",
+			current.P99Micros, limit, baseline.P99Micros, int(maxRegress*100))
+	}
+	if current.Requests > 0 && float64(current.Errors)/float64(current.Requests) > 0.01 {
+		return fmt.Errorf("error rate %.2f%% exceeds 1%%",
+			100*float64(current.Errors)/float64(current.Requests))
+	}
+	return nil
+}
+
+// WriteJSON renders the report with stable, indented formatting.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a BENCH_serve.json.
+func ReadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ReadRSS returns a process's resident set size in bytes from
+// /proc/<pid>/status (VmRSS). Unsupported platforms return an error;
+// callers treat RSS as optional.
+func ReadRSS(pid int) (int64, error) {
+	f, err := os.Open(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line) // "VmRSS:  12345 kB"
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, err
+		}
+		return kb * 1024, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no VmRSS in /proc/%d/status", pid)
+}
+
+// WaitReady polls url until it answers 2xx or the deadline passes —
+// the harness's server-boot barrier.
+func WaitReady(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				return nil
+			}
+			lastErr = fmt.Errorf("%s returned %s", url, resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server not ready after %v: %w", timeout, lastErr)
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"hash/maphash"
+	"net/http"
+	"sync"
+)
+
+// responseCache memoizes pre-encoded JSON response bodies per snapshot
+// generation. Hot lookups (the same community queried over and over)
+// skip both the snapshot query and the JSON re-encode and reply with a
+// single buffer write. Entries are keyed by request path and stamped
+// with the generation they were rendered from; a snapshot swap makes
+// every cached body stale at once, and each shard drops its old
+// entries lazily the first time it is touched at the new generation —
+// no swap-time stop-the-world sweep.
+type responseCache struct {
+	seed   maphash.Seed
+	shards [cacheShards]cacheShard
+}
+
+const (
+	cacheShards = 16
+	// cacheShardCap bounds entries per shard (~4k bodies total) so a
+	// key-scanning client cannot grow the cache without limit.
+	cacheShardCap = 256
+)
+
+type cacheShard struct {
+	mu      sync.RWMutex
+	gen     uint64
+	entries map[string][]byte
+}
+
+func newResponseCache() *responseCache {
+	return &responseCache{seed: maphash.MakeSeed()}
+}
+
+func (c *responseCache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)&(cacheShards-1)]
+}
+
+// get returns the cached body for key if it was rendered at gen. The
+// hit path is a shared-lock map probe — no allocation.
+func (c *responseCache) get(gen uint64, key string) ([]byte, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.gen != gen {
+		return nil, false
+	}
+	body, ok := sh.entries[key]
+	return body, ok
+}
+
+// put stores a body rendered at gen, clearing the shard first if it
+// still holds a previous generation. The caller must hand over an
+// unshared slice.
+func (c *responseCache) put(gen uint64, key string, body []byte) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.gen != gen || sh.entries == nil {
+		sh.gen = gen
+		sh.entries = make(map[string][]byte, 32)
+	}
+	if len(sh.entries) >= cacheShardCap {
+		if _, exists := sh.entries[key]; !exists {
+			// Evict one arbitrary entry (map iteration order); hot keys
+			// repopulate on their next request, cold ones stay gone.
+			for k := range sh.entries {
+				delete(sh.entries, k)
+				break
+			}
+		}
+	}
+	sh.entries[key] = body
+}
+
+// len counts live entries across shards (metrics only).
+func (c *responseCache) len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// encBufPool recycles the JSON encode buffers of cache-miss (and
+// uncached POST) responses, so sustained load stops allocating a fresh
+// buffer per request.
+var encBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// encodeJSONBody renders v exactly as writeJSON does (two-space
+// indent, trailing newline) into a pooled buffer, returning an
+// unshared copy of the bytes.
+func encodeJSONBody(v any) ([]byte, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		encBufPool.Put(buf)
+	}()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// serveCached answers a GET endpoint from the response cache when the
+// body for this path was already rendered at the current generation,
+// and renders-and-caches it otherwise. build must produce the full
+// response value for a cache miss.
+func (s *Server) serveCached(w http.ResponseWriter, snap *Snapshot, key string, build func() any) {
+	if body, ok := s.cache.get(snap.Gen, key); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body) //nolint:errcheck // the connection is gone; nothing to do
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+	body, err := encodeJSONBody(build())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode response: %v", err)
+		return
+	}
+	s.cache.put(snap.Gen, key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body) //nolint:errcheck // the connection is gone; nothing to do
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"bgpintent"
+)
+
+// bodyOf fetches path in-process and returns status and raw body.
+func bodyOf(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestResponseCacheHitAndInvalidation: repeated GETs of one key are
+// answered from the pre-encoded cache with byte-identical bodies, and
+// a snapshot swap (new generation) invalidates every cached body at
+// once — the stale-answer hazard the generation stamp exists for.
+func TestResponseCacheHitAndInvalidation(t *testing.T) {
+	w := getWorld(t)
+	builds := 0
+	builder := func(context.Context) (*bgpintent.Result, bgpintent.SnapshotInfo, string, error) {
+		builds++
+		res := w.resA
+		if builds%2 == 0 {
+			res = w.resB
+		}
+		return res, w.corpus.SnapshotInfo("synthetic-test"), "alternating", nil
+	}
+	s := newTestServer(t, builder)
+	url := "/v1/community/" + w.probe.String()
+
+	hits := func() int64 { return int64(s.metrics.cacheHits.Value()) }
+	misses := func() int64 { return int64(s.metrics.cacheMisses.Value()) }
+
+	code, first := bodyOf(t, s, url)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if hits() != 0 || misses() != 1 {
+		t.Fatalf("after first GET: hits=%d misses=%d, want 0/1", hits(), misses())
+	}
+	code, second := bodyOf(t, s, url)
+	if code != 200 || second != first {
+		t.Fatalf("cached body differs from rendered body (%d bytes vs %d)", len(second), len(first))
+	}
+	if hits() != 1 || misses() != 1 {
+		t.Fatalf("after second GET: hits=%d misses=%d, want 1/1", hits(), misses())
+	}
+	if s.cache.len() == 0 {
+		t.Fatal("cache reports no entries after a put")
+	}
+
+	// Swap the snapshot: the same path must render fresh (miss) and
+	// disagree with the old body — resA and resB differ on the probe.
+	if code, _ := bodyOf(t, s, "/v1/stats"); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/admin/reload", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	code, third := bodyOf(t, s, url)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if third == first {
+		t.Fatal("swap did not invalidate the cached body (stale category served)")
+	}
+}
+
+// TestCacheGetZeroAlloc guards the hot path: a cache hit must not
+// allocate — it is the request fast path under production load.
+func TestCacheGetZeroAlloc(t *testing.T) {
+	c := newResponseCache()
+	body := []byte(`{"k":"v"}` + "\n")
+	keys := []string{"/v1/community/100:10", "/v1/community/100:9000", "/v1/stats"}
+	for _, k := range keys {
+		c.put(7, k, body)
+	}
+	var sink []byte
+	if avg := testing.AllocsPerRun(200, func() {
+		for _, k := range keys {
+			b, ok := c.get(7, k)
+			if !ok {
+				panic("expected hit")
+			}
+			sink = b
+		}
+		if _, ok := c.get(6, keys[0]); ok { // stale generation misses
+			panic("stale generation hit")
+		}
+	}); avg != 0 {
+		t.Errorf("cache get allocates %.2f per run, want 0", avg)
+	}
+	_ = sink
+}
+
+// TestCacheEvictionBound: a key-scanning client cannot grow a shard
+// past its cap.
+func TestCacheEvictionBound(t *testing.T) {
+	c := newResponseCache()
+	body := []byte("{}\n")
+	for i := 0; i < 64*cacheShardCap; i++ {
+		c.put(1, "/v1/community/1:"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+(i/676)%26)), body)
+	}
+	if n := c.len(); n > cacheShards*cacheShardCap {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, cacheShards*cacheShardCap)
+	}
+}

@@ -89,16 +89,37 @@ type feedJSON struct {
 	Snapshots        uint64  `json:"snapshots"`
 }
 
+// snapshotProvenanceJSON says where the served snapshot came from and
+// how it is held, rendered in /v1/health.
+type snapshotProvenanceJSON struct {
+	// Source is "local" (built in this process: classifier, snapshot
+	// file, live feed) or "replica-url" (polled from an origin).
+	Source string `json:"source"`
+	// Mode is "mmap" (zero-copy mapped v2 snapshot) or "heap".
+	Mode       string `json:"mode"`
+	Generation uint64 `json:"generation"`
+
+	// Replica-only poll provenance.
+	URL                   string  `json:"url,omitempty"`
+	LastPollAgeSeconds    float64 `json:"last_poll_age_seconds,omitempty"`
+	LastSuccessAgeSeconds float64 `json:"last_success_age_seconds,omitempty"`
+	Polls                 uint64  `json:"polls,omitempty"`
+	PollErrors            uint64  `json:"poll_errors,omitempty"`
+	Swaps                 uint64  `json:"swaps,omitempty"`
+	LastError             string  `json:"last_error,omitempty"`
+}
+
 // healthResponse is the GET /v1/health body. The endpoint always
 // answers 200: liveness belongs to /healthz, and a degraded service
 // deliberately keeps serving — status reports data freshness, not
 // willingness.
 type healthResponse struct {
-	Status     string    `json:"status"`
-	Mode       string    `json:"mode"` // "batch" or "live"
-	Generation uint64    `json:"generation"`
-	BuiltAt    string    `json:"snapshot_built_at"`
-	Feed       *feedJSON `json:"feed,omitempty"`
+	Status     string                  `json:"status"`
+	Mode       string                  `json:"mode"` // "batch", "live" or "replica"
+	Generation uint64                  `json:"generation"`
+	BuiltAt    string                  `json:"snapshot_built_at"`
+	Snapshot   *snapshotProvenanceJSON `json:"snapshot"`
+	Feed       *feedJSON               `json:"feed,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -108,6 +129,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Mode:       "batch",
 		Generation: snap.Gen,
 		BuiltAt:    snap.BuiltAt.UTC().Format(time.RFC3339),
+		Snapshot: &snapshotProvenanceJSON{
+			Source:     "local",
+			Mode:       snap.Mode,
+			Generation: snap.Gen,
+		},
+	}
+	if s.replica != nil {
+		rh := s.replica.Health()
+		resp.Status = rh.Status
+		resp.Mode = "replica"
+		resp.Snapshot.Source = "replica-url"
+		resp.Snapshot.URL = rh.URL
+		if !rh.LastPoll.IsZero() {
+			resp.Snapshot.LastPollAgeSeconds = time.Since(rh.LastPoll).Seconds()
+		}
+		if !rh.LastSuccess.IsZero() {
+			resp.Snapshot.LastSuccessAgeSeconds = time.Since(rh.LastSuccess).Seconds()
+		}
+		resp.Snapshot.Polls = rh.Polls
+		resp.Snapshot.PollErrors = rh.PollErrors
+		resp.Snapshot.Swaps = rh.Swaps
+		resp.Snapshot.LastError = rh.LastError
 	}
 	if s.feed != nil {
 		fh := s.feed.FeedHealth()

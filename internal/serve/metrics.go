@@ -45,12 +45,16 @@ type Metrics struct {
 	reloads      *obs.Metric
 	reloadErrors *obs.Metric
 
+	cacheHits   *obs.Metric
+	cacheMisses *obs.Metric
+
 	snapGeneration   *obs.Metric
 	snapBuildSeconds *obs.Metric
 	snapTuples       *obs.Metric
 	snapPaths        *obs.Metric
 	snapCommunities  *obs.Metric
 	snapClusters     *obs.Metric
+	snapMmap         *obs.Metric
 }
 
 func newMetrics(endpoints []string) *Metrics {
@@ -84,6 +88,12 @@ func newMetrics(endpoints []string) *Metrics {
 			"Distinct communities observed in the currently-served snapshot's corpus."),
 		snapClusters: reg.Gauge("intentd_snapshot_clusters",
 			"Inferred clusters in the currently-served snapshot."),
+		snapMmap: reg.Gauge("intentd_snapshot_mmap",
+			"1 while the served snapshot is a zero-copy mmap view, 0 when heap-resident."),
+		cacheHits: reg.Counter("intentd_response_cache_hits_total",
+			"Responses answered from the pre-encoded body cache."),
+		cacheMisses: reg.Counter("intentd_response_cache_misses_total",
+			"Cacheable responses that had to be rendered."),
 	}
 	reg.GaugeFunc("intentd_uptime_seconds",
 		"Seconds since the server started.", func() float64 {
@@ -113,6 +123,20 @@ func (m *Metrics) setSnapshot(snap *Snapshot) {
 	m.snapPaths.Set(float64(snap.Info.Paths))
 	m.snapCommunities.Set(float64(snap.Info.Communities))
 	m.snapClusters.Set(float64(snap.clusters))
+	if snap.Mode == "mmap" {
+		m.snapMmap.Set(1)
+	} else {
+		m.snapMmap.Set(0)
+	}
+}
+
+// registerCache exports the response-cache occupancy gauge; scrapes
+// read through fn.
+func (m *Metrics) registerCache(fn func() int) {
+	m.reg.GaugeFunc("intentd_response_cache_entries",
+		"Pre-encoded response bodies currently cached.", func() float64 {
+			return float64(fn())
+		})
 }
 
 // MetricsSnapshot is the scrape-time view served at /v1/metrics — a
@@ -122,6 +146,8 @@ type MetricsSnapshot struct {
 	Generation    uint64                   `json:"generation"`
 	Reloads       int64                    `json:"reloads"`
 	ReloadErrors  int64                    `json:"reload_errors"`
+	CacheHits     int64                    `json:"cache_hits"`
+	CacheMisses   int64                    `json:"cache_misses"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -132,6 +158,8 @@ func (m *Metrics) snapshot(gen uint64) MetricsSnapshot {
 		Generation:    gen,
 		Reloads:       int64(m.reloads.Value()),
 		ReloadErrors:  int64(m.reloadErrors.Value()),
+		CacheHits:     int64(m.cacheHits.Value()),
+		CacheMisses:   int64(m.cacheMisses.Value()),
 		Endpoints:     make(map[string]EndpointStats, len(m.endpoints)),
 	}
 	names := make([]string, 0, len(m.endpoints))

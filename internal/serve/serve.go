@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,7 +36,7 @@ const maxAnnotateItems = 65536
 
 // endpointNames are the instrumented endpoint keys in /v1/metrics and
 // the endpoint label values at /metrics.
-var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload", "health"}
+var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload", "health", "snapshot"}
 
 // Server is the intentd HTTP core: an atomic current snapshot, a
 // builder to replace it, and the instrumented mux.
@@ -44,12 +45,22 @@ type Server struct {
 	gen     atomic.Uint64
 	builder Builder
 	metrics *Metrics
+	cache   *responseCache
 	logf    func(format string, args ...any)
 	mux     *http.ServeMux
 
 	// feed, when set, switches /v1/health to live-feed reporting; set
 	// once via SetFeed before serving.
 	feed HealthSource
+
+	// replica, when set, adds poll provenance to /v1/health and
+	// /metrics; set once via SetReplica before serving.
+	replica *Replica
+
+	// snapshotFile, when non-empty, is published at GET /v1/snapshot so
+	// replicas can poll this instance directly; set once via
+	// SetSnapshotFile before serving.
+	snapshotFile string
 
 	// reloadMu serializes builds: concurrent reload requests queue
 	// rather than racing to install snapshots out of order. Readers
@@ -84,8 +95,10 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	s := &Server{
 		builder: builder,
 		metrics: newMetrics(endpointNames),
+		cache:   newResponseCache(),
 		logf:    logf,
 	}
+	s.metrics.registerCache(s.cache.len)
 	if _, err := s.Reload(ctx); err != nil {
 		return nil, err
 	}
@@ -102,6 +115,7 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	s.mux.HandleFunc("GET /metrics", s.instrument("prometheus", s.handlePrometheus))
 	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/health", s.instrument("health", s.handleHealth))
+	s.mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot", s.handleSnapshotFile))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -260,11 +274,14 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// One snapshot load; everything below answers from it, so the
-	// response is internally consistent even mid-reload.
+	// response is internally consistent even mid-reload. Hot keys come
+	// straight out of the generation-keyed body cache.
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, communityResponse{
-		Annotation: annotate(snap, c),
-		Generation: snap.Gen,
+	s.serveCached(w, snap, r.URL.Path, func() any {
+		return communityResponse{
+			Annotation: annotate(snap, c),
+			Generation: snap.Gen,
+		}
 	})
 }
 
@@ -378,11 +395,13 @@ func (s *Server) handleAS(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.Snapshot()
-	resp := asResponse{ASN: uint16(asn64), Generation: snap.Gen, Clusters: []ClusterJSON{}}
-	for _, cl := range snap.ClustersFor(uint16(asn64)) {
-		resp.Clusters = append(resp.Clusters, *clusterJSON(&cl))
-	}
-	writeJSON(w, http.StatusOK, resp)
+	s.serveCached(w, snap, r.URL.Path, func() any {
+		resp := asResponse{ASN: uint16(asn64), Generation: snap.Gen, Clusters: []ClusterJSON{}}
+		for _, cl := range snap.ClustersFor(uint16(asn64)) {
+			resp.Clusters = append(resp.Clusters, *clusterJSON(&cl))
+		}
+		return resp
+	})
 }
 
 // statsResponse is the GET /v1/stats body.
@@ -407,7 +426,11 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.serveCached(w, snap, r.URL.Path, func() any { return s.statsFor(snap) })
+}
+
+func (s *Server) statsFor(snap *Snapshot) statsResponse {
+	return statsResponse{
 		Generation:       snap.Gen,
 		Source:           snap.Source,
 		BuiltAt:          snap.BuiltAt.UTC().Format(time.RFC3339),
@@ -422,7 +445,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Information:      snap.information,
 		Excluded:         snap.excluded,
 		Clusters:         snap.clusters,
-	})
+	}
+}
+
+// SetSnapshotFile publishes the snapshot file at GET /v1/snapshot, so
+// replica instances can poll this one directly (one writer, N mmap
+// replicas sharing the page cache). Call at most once, before serving.
+func (s *Server) SetSnapshotFile(path string) { s.snapshotFile = path }
+
+// handleSnapshotFile streams the published snapshot file with an ETag
+// derived from (mtime, size), so replica polls short-circuit to 304
+// until the file is replaced.
+func (s *Server) handleSnapshotFile(w http.ResponseWriter, r *http.Request) {
+	if s.snapshotFile == "" {
+		writeError(w, http.StatusNotFound, "no snapshot file published (start with -snapshot, or point replicas at the origin)")
+		return
+	}
+	f, err := os.Open(s.snapshotFile)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "open snapshot: %v", err)
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "stat snapshot: %v", err)
+		return
+	}
+	w.Header().Set("ETag", fmt.Sprintf(`"%x-%x"`, st.ModTime().UnixNano(), st.Size()))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, "", st.ModTime(), f)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -39,10 +39,11 @@ type Snapshot struct {
 	// Info carries the corpus counters recorded at classification time.
 	Info bgpintent.SnapshotInfo
 
-	res *bgpintent.Result
+	// Mode says how the result is held: "mmap" when served zero-copy
+	// from a mapped v2 snapshot file, "heap" otherwise.
+	Mode string
 
-	// clustersByASN indexes the clusters of each α for GET /v1/as.
-	clustersByASN map[uint16][]bgpintent.Cluster
+	res *bgpintent.Result
 
 	action      int
 	information int
@@ -51,25 +52,26 @@ type Snapshot struct {
 }
 
 // NewSnapshot wraps a classification result into a query-ready
-// snapshot, precomputing the per-α cluster index and summary counters
-// so request handlers never iterate the full inference set.
+// snapshot. The summary counters are O(1) reads for mmap-backed
+// results (precomputed in the snapshot's stats section), so installing
+// a polled replica generation does not touch the full inference set.
 func NewSnapshot(gen uint64, res *bgpintent.Result, info bgpintent.SnapshotInfo, source string, buildDuration time.Duration) *Snapshot {
+	mode := "heap"
+	if res.Mmapped() {
+		mode = "mmap"
+	}
 	s := &Snapshot{
 		Gen:           gen,
 		BuiltAt:       time.Now(),
 		BuildDuration: buildDuration,
 		Source:        source,
 		Info:          info,
+		Mode:          mode,
 		res:           res,
-		clustersByASN: make(map[uint16][]bgpintent.Cluster),
-	}
-	all := res.Clusters()
-	s.clusters = len(all)
-	for _, cl := range all {
-		s.clustersByASN[cl.ASN] = append(s.clustersByASN[cl.ASN], cl)
 	}
 	s.action, s.information = res.Counts()
-	s.excluded = s.res.ExcludedCount()
+	s.excluded = res.ExcludedCount()
+	s.clusters = res.ClusterCount()
 	return s
 }
 
@@ -81,7 +83,7 @@ func (s *Snapshot) Lookup(c bgpintent.Community) bgpintent.Lookup {
 // ClustersFor returns the clusters inferred for one α, in (Lo, Hi)
 // order. The returned slice is shared and must not be mutated.
 func (s *Snapshot) ClustersFor(asn uint16) []bgpintent.Cluster {
-	return s.clustersByASN[asn]
+	return s.res.ClustersFor(asn)
 }
 
 // String identifies the snapshot in logs.

@@ -175,7 +175,7 @@ func StartLive(ctx context.Context, opts LiveOptions) (*Live, error) {
 	if opts.OnSnapshot != nil {
 		cb := opts.OnSnapshot
 		onSnap = func(inf *core.Inferences, st stream.WindowStats, lastSeq uint64) {
-			cb(&Result{inf: inf}, SnapshotInfo{
+			cb(newResult(inf), SnapshotInfo{
 				Created:          time.Now(),
 				Source:           scfgSource,
 				Tuples:           st.Tuples,
@@ -266,5 +266,5 @@ func EmptyResult() (*Result, SnapshotInfo) {
 		// background context never cancels.
 		panic(err)
 	}
-	return &Result{inf: inf}, SnapshotInfo{Created: time.Now(), Source: "empty"}
+	return newResult(inf), SnapshotInfo{Created: time.Now(), Source: "empty"}
 }
