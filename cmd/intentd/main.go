@@ -16,6 +16,7 @@
 //	GET  /v1/metrics                  the operational counters as JSON
 //	GET  /metrics                     the same counters in Prometheus text format
 //	POST /v1/admin/reload             rebuild + atomically swap the snapshot
+//	GET  /v1/anomalies                CommunityWatch findings (live mode; ?window= ?since= ?detector= ?limit=)
 //	GET  /v1/health                   feed/replica health: healthy | stale | degraded (always 200)
 //	GET  /v1/snapshot                 the published snapshot file (ETag-gated; -snapshot mode)
 //	GET  /healthz                     liveness
@@ -26,7 +27,12 @@
 // (reload is disabled with a structured 409), survives disconnects,
 // stalls and corrupt frames by resuming from its last applied sequence
 // number, and on feed death degrades to serving the last good snapshot
-// while /v1/health reports stale/degraded. SIGTERM/SIGINT drain
+// while /v1/health reports stale/degraded. Live mode also runs
+// CommunityWatch (-anomaly, on by default): streaming detectors over
+// the feed — community activity spikes, strip/leak disappearances,
+// flap churn — attributed with the inferred semantics of each
+// generation and served at /v1/anomalies; -events scripts ground-truth
+// anomalies into the simulated feed. SIGTERM/SIGINT drain
 // connections gracefully within -drain-timeout. -debug-addr exposes
 // net/http/pprof on a separate listener.
 //
@@ -35,7 +41,8 @@
 //	intentd -snapshot out.snap [-addr :8642]
 //	intentd -rib 'corpus/*.rib.mrt' -updates 'corpus/*.updates.mrt' \
 //	        -as2org corpus/as2org.txt [-gap 140] [-ratio 160]
-//	intentd -live [-live-small] [-fault-rate 0.1] [-window 48h]
+//	intentd -live [-live-small] [-fault-rate 0.1] [-window 48h] \
+//	        [-events 'spike:3356:666@25h+2h#400'] [-anomaly-bucket 30m]
 //	intentd -replica -snapshot-url http://origin:8642/v1/snapshot \
 //	        [-poll-interval 15s] [-snapshot-cache /var/cache/intentd]
 package main
@@ -107,6 +114,10 @@ type config struct {
 	faultStall    time.Duration
 	windowSpan    time.Duration
 	windowBuckets int
+	events        string
+	anomaly       bool
+	anomalyBucket time.Duration
+	anomalyHist   int
 	staleAfter    time.Duration
 	feedReadTO    time.Duration
 	retryBudget   int
@@ -152,6 +163,10 @@ func parseFlags(args []string) (*config, error) {
 	fs.Float64Var(&cfg.faultRate, "fault-rate", 0, "per-delivery fault injection probability in [0,1] (0 disables)")
 	fs.Int64Var(&cfg.faultSeed, "fault-seed", 0, "deterministic seed of the fault injector")
 	fs.DurationVar(&cfg.faultStall, "fault-stall", 0, "injected stall length (0 = injector default)")
+	fs.StringVar(&cfg.events, "events", "", `scripted anomalies for the live feed, e.g. "spike:3356:666@25h+2h#400;strip:2914@30h+3h"`)
+	fs.BoolVar(&cfg.anomaly, "anomaly", true, "run CommunityWatch streaming anomaly detection on the live feed")
+	fs.DurationVar(&cfg.anomalyBucket, "anomaly-bucket", 0, "anomaly detection bucket width in feed time (0 = default 30m)")
+	fs.IntVar(&cfg.anomalyHist, "anomaly-buckets", 0, "baseline buckets kept per community series (0 = default 32)")
 	fs.DurationVar(&cfg.windowSpan, "window", 0, "rolling window span in feed time (0 = keep everything)")
 	fs.IntVar(&cfg.windowBuckets, "window-buckets", 0, "rolling window eviction granularity (0 = default)")
 	fs.DurationVar(&cfg.staleAfter, "stale-after", 0, "feed staleness budget for /v1/health (0 = default 2m)")
@@ -186,6 +201,9 @@ func parseFlags(args []string) (*config, error) {
 		}
 		if cfg.faultRate != 0 {
 			return nil, fmt.Errorf("-fault-rate requires -live")
+		}
+		if cfg.events != "" {
+			return nil, fmt.Errorf("-events requires -live")
 		}
 		if cfg.snapshot == "" && cfg.ribGlob == "" && cfg.updGlob == "" {
 			return nil, fmt.Errorf("no data source: use -snapshot, -rib/-updates, -replica, or -live")
@@ -372,6 +390,11 @@ func startLive(ctx context.Context, cfg *config, srv *serve.Server) error {
 		Loop:     cfg.liveLoop,
 		Interval: cfg.liveInterval,
 
+		Events:         cfg.events,
+		Anomaly:        cfg.anomaly,
+		AnomalyBucket:  cfg.anomalyBucket,
+		AnomalyHistory: cfg.anomalyHist,
+
 		FaultRate:  cfg.faultRate,
 		FaultSeed:  cfg.faultSeed,
 		FaultStall: cfg.faultStall,
@@ -399,6 +422,11 @@ func startLive(ctx context.Context, cfg *config, srv *serve.Server) error {
 		return err
 	}
 	srv.SetFeed(feedAdapter{live})
+	if w := live.Anomalies(); w != nil {
+		// GET /v1/anomalies, the health anomalies block and the
+		// intentd_anomaly_* gauges all read from this watcher.
+		srv.SetAnomalies(w)
+	}
 	go func() {
 		switch err := live.Wait(); {
 		case err == nil:

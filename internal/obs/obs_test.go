@@ -281,3 +281,40 @@ func TestRegistryMisusePanics(t *testing.T) {
 		})
 	}
 }
+
+func TestRegistryGaugeFuncVec(t *testing.T) {
+	reg := NewRegistry()
+	samples := map[string]float64{"spike": 3, "churn": 1, `e"s\c`: 2.5}
+	reg.GaugeFuncVec("test_by_detector", "Computed, labeled.", "detector",
+		func() map[string]float64 { return samples })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_by_detector gauge",
+		`test_by_detector{detector="churn"} 1`,
+		`test_by_detector{detector="spike"} 3`,
+		`test_by_detector{detector="e\"s\\c"} 2.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+	// Series render in label-value order.
+	if strings.Index(out, `"churn"`) > strings.Index(out, `"spike"`) {
+		t.Errorf("series not value-sorted:\n%s", out)
+	}
+
+	// The scrape-time series set tracks the source map.
+	samples["disappearance"] = 7
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `test_by_detector{detector="disappearance"} 7`) {
+		t.Errorf("new key not exposed:\n%s", buf.String())
+	}
+}

@@ -30,7 +30,8 @@ type family struct {
 	order  []string // series keys in first-use order
 	series map[string]*Metric
 
-	fn func() float64 // GaugeFunc families compute at scrape time
+	fn    func() float64           // GaugeFunc families compute at scrape time
+	fnVec func() map[string]float64 // GaugeFuncVec: label value -> sample
 }
 
 // Metric is one series of a family: an atomic float64 the holder
@@ -168,6 +169,16 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.fn = fn
 }
 
+// GaugeFuncVec registers a single-label gauge family whose full series
+// set is computed at scrape time: fn returns label value -> sample.
+// For sources that already aggregate per key (e.g. findings per
+// detector) and would otherwise need one registered series per key
+// known in advance.
+func (r *Registry) GaugeFuncVec(name, help, label string, fn func() map[string]float64) {
+	f := r.register(name, help, "gauge", []string{label})
+	f.fnVec = fn
+}
+
 // Vec is a labeled metric family handle.
 type Vec struct{ f *family }
 
@@ -208,6 +219,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if f.fn != nil {
 			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatValue(f.fn())); err != nil {
 				return err
+			}
+			continue
+		}
+		if f.fnVec != nil {
+			samples := f.fnVec()
+			vals := make([]string, 0, len(samples))
+			for v := range samples {
+				vals = append(vals, v)
+			}
+			sort.Strings(vals)
+			for _, v := range vals {
+				ls := renderLabels(f.labels, []string{v})
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, formatValue(samples[v])); err != nil {
+					return err
+				}
 			}
 			continue
 		}

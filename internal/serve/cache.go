@@ -120,7 +120,14 @@ func encodeJSONBody(v any) ([]byte, error) {
 // and renders-and-caches it otherwise. build must produce the full
 // response value for a cache miss.
 func (s *Server) serveCached(w http.ResponseWriter, snap *Snapshot, key string, build func() any) {
-	if body, ok := s.cache.get(snap.Gen, key); ok {
+	s.serveCachedIn(w, s.cache, snap.Gen, key, build)
+}
+
+// serveCachedIn is serveCached generalized over the cache instance and
+// the invalidation stamp: snapshot-derived bodies stamp with the
+// snapshot generation, anomaly bodies with (generation, engine stamp).
+func (s *Server) serveCachedIn(w http.ResponseWriter, cache *responseCache, stamp uint64, key string, build func() any) {
+	if body, ok := cache.get(stamp, key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
@@ -133,7 +140,7 @@ func (s *Server) serveCached(w http.ResponseWriter, snap *Snapshot, key string, 
 		writeError(w, http.StatusInternalServerError, "encode response: %v", err)
 		return
 	}
-	s.cache.put(snap.Gen, key, body)
+	cache.put(stamp, key, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(body) //nolint:errcheck // the connection is gone; nothing to do

@@ -120,6 +120,7 @@ type healthResponse struct {
 	BuiltAt    string                  `json:"snapshot_built_at"`
 	Snapshot   *snapshotProvenanceJSON `json:"snapshot"`
 	Feed       *feedJSON               `json:"feed,omitempty"`
+	Anomalies  *anomalyHealthJSON      `json:"anomalies,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -165,6 +166,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Reconnects:       fh.Reconnects,
 			Snapshots:        fh.Snapshots,
 		}
+	}
+	if s.anoms != nil {
+		resp.Anomalies = anomalyHealth(s.anoms.Health())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

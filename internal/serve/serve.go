@@ -36,7 +36,7 @@ const maxAnnotateItems = 65536
 
 // endpointNames are the instrumented endpoint keys in /v1/metrics and
 // the endpoint label values at /metrics.
-var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload", "health", "snapshot"}
+var endpointNames = []string{"community", "annotate", "as", "stats", "metrics", "prometheus", "reload", "health", "snapshot", "anomalies"}
 
 // Server is the intentd HTTP core: an atomic current snapshot, a
 // builder to replace it, and the instrumented mux.
@@ -52,6 +52,12 @@ type Server struct {
 	// feed, when set, switches /v1/health to live-feed reporting; set
 	// once via SetFeed before serving.
 	feed HealthSource
+
+	// anoms, when set, enables GET /v1/anomalies and the anomaly health
+	// block; set once via SetAnomalies before serving. anomCache holds
+	// its rendered bodies, separate from the snapshot-keyed cache.
+	anoms     AnomalySource
+	anomCache *responseCache
 
 	// replica, when set, adds poll provenance to /v1/health and
 	// /metrics; set once via SetReplica before serving.
@@ -93,12 +99,13 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 		logf = log.Printf
 	}
 	s := &Server{
-		builder: builder,
-		metrics: newMetrics(endpointNames),
-		cache:   newResponseCache(),
-		logf:    logf,
+		builder:   builder,
+		metrics:   newMetrics(endpointNames),
+		cache:     newResponseCache(),
+		anomCache: newResponseCache(),
+		logf:      logf,
 	}
-	s.metrics.registerCache(s.cache.len)
+	s.metrics.registerCache(func() int { return s.cache.len() + s.anomCache.len() })
 	if _, err := s.Reload(ctx); err != nil {
 		return nil, err
 	}
@@ -116,6 +123,7 @@ func New(ctx context.Context, builder Builder, logf func(string, ...any)) (*Serv
 	s.mux.HandleFunc("POST /v1/admin/reload", s.instrument("reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/health", s.instrument("health", s.handleHealth))
 	s.mux.HandleFunc("GET /v1/snapshot", s.instrument("snapshot", s.handleSnapshotFile))
+	s.mux.HandleFunc("GET /v1/anomalies", s.instrument("anomalies", s.handleAnomalies))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")

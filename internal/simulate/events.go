@@ -1,0 +1,352 @@
+// Scriptable ground-truth event injection. A Script perturbs the
+// simulator's per-day view stream with routing events whose timing and
+// subjects are known exactly — a blackhole-style activity spike on one
+// community, a community-stripping leak on routes through one AS, a
+// traffic-engineering flap series — so anomaly detectors can be scored
+// for precision and recall against injected truth instead of eyeballed
+// plausibility. Everything here is deterministic: equal (script, views)
+// yield equal output, with no random source involved.
+package simulate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bgpintent/internal/bgp"
+)
+
+// EventKind discriminates the scripted event types.
+type EventKind int
+
+const (
+	// EventSpike injects a burst of extra updates carrying one
+	// community — the shape of a blackhole onset (and, when the burst
+	// ends, its withdrawal).
+	EventSpike EventKind = iota
+	// EventStrip removes all communities from updates whose AS path
+	// traverses one AS — the shape of a route leak through a
+	// community-stripping network.
+	EventStrip
+	// EventFlap injects alternating on/off bursts of one community —
+	// the shape of unstable traffic engineering.
+	EventFlap
+)
+
+// String names the kind for logs and errors.
+func (k EventKind) String() string {
+	switch k {
+	case EventSpike:
+		return "spike"
+	case EventStrip:
+		return "strip"
+	case EventFlap:
+		return "flap"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one scripted routing event. Times are feed-time offsets from
+// the feed epoch (day 0 spans [0, 24h), day 1 [24h, 48h), ...), so a
+// script is independent of the wall-clock pacing of delivery.
+type Event struct {
+	Kind EventKind
+	// At is when the event starts, as an offset from the feed epoch;
+	// Duration is how long it lasts.
+	At, Duration time.Duration
+
+	// Community is the subject of spike and flap events.
+	Community bgp.Community
+	// ASN is the stripping AS of a strip event (full 32-bit space).
+	ASN uint32
+
+	// Count is the total updates injected by a spike, or the updates
+	// injected per on-phase of a flap.
+	Count int
+	// Cycles is a flap's number of on/off cycles.
+	Cycles int
+}
+
+// Validate checks one event for internal consistency.
+func (e Event) Validate() error {
+	if e.At < 0 || e.Duration <= 0 {
+		return fmt.Errorf("simulate: %s event needs At >= 0 and Duration > 0", e.Kind)
+	}
+	switch e.Kind {
+	case EventSpike:
+		if e.Count <= 0 {
+			return fmt.Errorf("simulate: spike event needs Count > 0")
+		}
+	case EventStrip:
+		if e.ASN == 0 {
+			return fmt.Errorf("simulate: strip event needs ASN != 0")
+		}
+	case EventFlap:
+		if e.Count <= 0 || e.Cycles <= 0 {
+			return fmt.Errorf("simulate: flap event needs Count > 0 and Cycles > 0")
+		}
+	default:
+		return fmt.Errorf("simulate: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Script is an ordered set of ground-truth events applied to a view
+// stream.
+type Script struct {
+	Events []Event
+}
+
+// Validate checks every event.
+func (sc *Script) Validate() error {
+	for i := range sc.Events {
+		if err := sc.Events[i].Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ParseScript parses the event DSL: events separated by ';', each one of
+//
+//	spike:<asn>:<value>@<at>+<dur>#<count>
+//	strip:<asn>@<at>+<dur>
+//	flap:<asn>:<value>@<at>+<dur>#<cycles>x<count>
+//
+// where <at> and <dur> are Go durations offset from the feed epoch, e.g.
+// "spike:65010:666@26h+1h#600; strip:174@30h+2h; flap:65010:20@34h+6h#4x300".
+func ParseScript(s string) (*Script, error) {
+	sc := &Script{}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("simulate: parsing script event %q: %w", part, err)
+		}
+		sc.Events = append(sc.Events, e)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	return sc, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return Event{}, fmt.Errorf("missing ':' after event kind")
+	}
+	var e Event
+	switch kind {
+	case "spike":
+		e.Kind = EventSpike
+	case "strip":
+		e.Kind = EventStrip
+	case "flap":
+		e.Kind = EventFlap
+	default:
+		return Event{}, fmt.Errorf("unknown event kind %q", kind)
+	}
+
+	subject, rest, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '@<at>'")
+	}
+	if e.Kind == EventStrip {
+		asn, err := strconv.ParseUint(subject, 10, 32)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad ASN %q: %v", subject, err)
+		}
+		e.ASN = uint32(asn)
+	} else {
+		c, err := bgp.ParseCommunity(subject)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad community %q: %v", subject, err)
+		}
+		e.Community = c
+	}
+
+	when, tail, _ := strings.Cut(rest, "#")
+	atStr, durStr, ok := strings.Cut(when, "+")
+	if !ok {
+		return Event{}, fmt.Errorf("missing '+<dur>' after '@<at>'")
+	}
+	var err error
+	if e.At, err = time.ParseDuration(atStr); err != nil {
+		return Event{}, fmt.Errorf("bad at %q: %v", atStr, err)
+	}
+	if e.Duration, err = time.ParseDuration(durStr); err != nil {
+		return Event{}, fmt.Errorf("bad duration %q: %v", durStr, err)
+	}
+
+	switch e.Kind {
+	case EventStrip:
+		if tail != "" {
+			return Event{}, fmt.Errorf("strip takes no '#' argument")
+		}
+	case EventSpike:
+		n, err := strconv.Atoi(tail)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad count %q: %v", tail, err)
+		}
+		e.Count = n
+	case EventFlap:
+		cyc, cnt, ok := strings.Cut(tail, "x")
+		if !ok {
+			return Event{}, fmt.Errorf("flap needs '#<cycles>x<count>'")
+		}
+		if e.Cycles, err = strconv.Atoi(cyc); err != nil {
+			return Event{}, fmt.Errorf("bad cycles %q: %v", cyc, err)
+		}
+		if e.Count, err = strconv.Atoi(cnt); err != nil {
+			return Event{}, fmt.Errorf("bad count %q: %v", cnt, err)
+		}
+	}
+	return e, nil
+}
+
+// String renders the script back into the DSL.
+func (sc *Script) String() string {
+	parts := make([]string, 0, len(sc.Events))
+	for _, e := range sc.Events {
+		switch e.Kind {
+		case EventSpike:
+			parts = append(parts, fmt.Sprintf("spike:%s@%s+%s#%d", e.Community, e.At, e.Duration, e.Count))
+		case EventStrip:
+			parts = append(parts, fmt.Sprintf("strip:%d@%s+%s", e.ASN, e.At, e.Duration))
+		case EventFlap:
+			parts = append(parts, fmt.Sprintf("flap:%s@%s+%s#%dx%d", e.Community, e.At, e.Duration, e.Cycles, e.Count))
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// TimedView is one view stamped with its feed-time offset from the
+// epoch — the unit a scripted day produces. The simulate package keeps
+// no timeline of its own; feed adapters add their epoch.
+type TimedView struct {
+	At   time.Duration
+	View View
+}
+
+// Affects reports whether any event perturbs the feed-time window
+// [start, end), measured as offsets from the epoch.
+func (sc *Script) Affects(start, end time.Duration) bool {
+	if sc == nil {
+		return false
+	}
+	for _, e := range sc.Events {
+		if e.At < end && e.At+e.Duration > start {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply spreads one day's views evenly across [start, start+span) and
+// perturbs them with every event intersecting that window. start is the
+// day's offset from the feed epoch. Strip events rewrite matching views
+// (the input slice is not modified); spike and flap events insert
+// synthetic views cloned from templates whose paths avoid the injected
+// community's α, so the burst reads as off-path activity — the signature
+// of an action community being triggered. The result is sorted by time,
+// ties resolved by input order, and fully deterministic.
+func (sc *Script) Apply(start, span time.Duration, views []View) []TimedView {
+	out := make([]TimedView, 0, len(views))
+	if len(views) > 0 {
+		step := span / time.Duration(len(views))
+		for i := range views {
+			out = append(out, TimedView{At: start + time.Duration(i)*step, View: views[i]})
+		}
+	}
+	if sc == nil || len(views) == 0 {
+		return out
+	}
+	end := start + span
+	injected := false
+	for _, e := range sc.Events {
+		if e.At >= end || e.At+e.Duration <= start {
+			continue
+		}
+		switch e.Kind {
+		case EventStrip:
+			for i := range out {
+				off := out[i].At
+				if off < e.At || off >= e.At+e.Duration {
+					continue
+				}
+				if pathThrough(out[i].View.Path, e.ASN) {
+					v := out[i].View
+					v.Comms = nil
+					v.LargeComms = nil
+					out[i].View = v
+				}
+			}
+		case EventSpike:
+			for j := 0; j < e.Count; j++ {
+				at := e.At + time.Duration(j)*e.Duration/time.Duration(e.Count)
+				if at < start || at >= end {
+					continue
+				}
+				out = append(out, injectView(views, e.Community, at, j))
+				injected = true
+			}
+		case EventFlap:
+			phase := e.Duration / time.Duration(2*e.Cycles)
+			for c := 0; c < e.Cycles; c++ {
+				on := e.At + time.Duration(2*c)*phase
+				for j := 0; j < e.Count; j++ {
+					at := on + time.Duration(j)*phase/time.Duration(e.Count)
+					if at < start || at >= end {
+						continue
+					}
+					out = append(out, injectView(views, e.Community, at, c*e.Count+j))
+					injected = true
+				}
+			}
+		}
+	}
+	if injected {
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	}
+	return out
+}
+
+// pathThrough reports whether asn appears on the path beyond the
+// vantage point itself (index 0): a strip event models a transit
+// network mangling routes it propagates, not the collector session.
+func pathThrough(path []uint32, asn uint32) bool {
+	for _, a := range path[1:] {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// injectView clones a deterministic template view and appends the event
+// community. Template selection walks the day's views from a
+// salt-derived position, preferring one whose path avoids the
+// community's α (off-path evidence, like an action community attached
+// far from the AS it instructs).
+func injectView(views []View, c bgp.Community, at time.Duration, salt int) TimedView {
+	idx := (salt*2654435761 + 97) % len(views)
+	if idx < 0 {
+		idx += len(views)
+	}
+	for tries := 0; tries < 32; tries++ {
+		if !pathThrough(views[idx].Path, uint32(c.ASN())) && views[idx].Path[0] != uint32(c.ASN()) {
+			break
+		}
+		idx = (idx + 1) % len(views)
+	}
+	v := views[idx]
+	v.Comms = append(v.Comms.Clone(), c).Canonical()
+	v.LargeComms = v.LargeComms.Clone()
+	return TimedView{At: at, View: v}
+}

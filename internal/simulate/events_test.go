@@ -1,0 +1,171 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"bgpintent/internal/bgp"
+)
+
+func TestParseScriptRoundTrip(t *testing.T) {
+	in := "spike:65010:666@26h+1h#600; strip:174@30h+2h; flap:65010:20@34h+6h#4x300"
+	sc, err := ParseScript(in)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(sc.Events) != 3 {
+		t.Fatalf("got %d events, want 3", len(sc.Events))
+	}
+	e := sc.Events[0]
+	if e.Kind != EventSpike || e.Community != bgp.NewCommunity(65010, 666) ||
+		e.At != 26*time.Hour || e.Duration != time.Hour || e.Count != 600 {
+		t.Errorf("spike parsed wrong: %+v", e)
+	}
+	e = sc.Events[1]
+	if e.Kind != EventStrip || e.ASN != 174 || e.At != 30*time.Hour || e.Duration != 2*time.Hour {
+		t.Errorf("strip parsed wrong: %+v", e)
+	}
+	e = sc.Events[2]
+	if e.Kind != EventFlap || e.Cycles != 4 || e.Count != 300 {
+		t.Errorf("flap parsed wrong: %+v", e)
+	}
+	// Round-trip through String.
+	sc2, err := ParseScript(sc.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sc.String(), err)
+	}
+	if !reflect.DeepEqual(sc, sc2) {
+		t.Errorf("round trip changed script: %v vs %v", sc, sc2)
+	}
+}
+
+func TestParseScriptRejects(t *testing.T) {
+	for _, bad := range []string{
+		"spike:65010:666@26h+1h",      // missing count
+		"strip:174@30h+2h#5",          // strip takes no count
+		"flap:65010:20@34h+6h#4",      // missing xCount
+		"tremble:65010:20@34h+6h#4x2", // unknown kind
+		"spike:65010:666@-1h+1h#10",   // negative at
+		"strip:0@1h+1h",               // zero ASN
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// eventViews builds a tiny fixed day: four views, two of which pass
+// through AS 2001 beyond the vantage point.
+func eventViews() []View {
+	return []View{
+		{VP: 10, Path: []uint32{10, 2001, 30}, Comms: bgp.Communities{bgp.NewCommunity(2001, 100)}},
+		{VP: 11, Path: []uint32{11, 40, 30}, Comms: bgp.Communities{bgp.NewCommunity(40, 100)}},
+		{VP: 10, Path: []uint32{10, 2001, 50}, Comms: bgp.Communities{bgp.NewCommunity(2001, 100)}},
+		{VP: 11, Path: []uint32{11, 60}, Comms: nil},
+	}
+}
+
+func TestApplyStrip(t *testing.T) {
+	views := eventViews()
+	sc := &Script{Events: []Event{{Kind: EventStrip, ASN: 2001, At: 0, Duration: 12 * time.Hour}}}
+	out := sc.Apply(0, 24*time.Hour, views)
+	if len(out) != len(views) {
+		t.Fatalf("strip changed view count: %d vs %d", len(out), len(views))
+	}
+	// Views 0 and 1 fall in [0, 12h); view 0 goes through 2001 and must
+	// lose its communities, view 1 must keep them. Views 2..3 are after
+	// the window and keep theirs.
+	if out[0].View.Comms != nil {
+		t.Errorf("view through stripping AS kept communities: %v", out[0].View.Comms)
+	}
+	if len(out[1].View.Comms) != 1 {
+		t.Errorf("unaffected view lost communities")
+	}
+	if len(out[2].View.Comms) != 1 {
+		t.Errorf("view outside window lost communities")
+	}
+	// The input must be untouched.
+	if len(views[0].Comms) != 1 {
+		t.Errorf("Apply modified its input")
+	}
+}
+
+func TestApplySpikeInjects(t *testing.T) {
+	views := eventViews()
+	c := bgp.NewCommunity(40, 666)
+	sc := &Script{Events: []Event{{Kind: EventSpike, Community: c, At: 6 * time.Hour, Duration: time.Hour, Count: 10}}}
+	out := sc.Apply(0, 24*time.Hour, views)
+	if len(out) != len(views)+10 {
+		t.Fatalf("got %d timed views, want %d", len(out), len(views)+10)
+	}
+	injected := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].At < out[i-1].At {
+			t.Fatalf("output not sorted at %d", i)
+		}
+	}
+	for _, tv := range out {
+		if tv.View.Comms.Has(c) {
+			injected++
+			off := tv.At
+			if off < 6*time.Hour || off >= 7*time.Hour {
+				t.Errorf("injected view outside event window: %v", off)
+			}
+			if pathThrough(tv.View.Path, uint32(c.ASN())) || tv.View.Path[0] == uint32(c.ASN()) {
+				t.Errorf("injected view rides a path through the community's α: %v", tv.View.Path)
+			}
+		}
+	}
+	if injected != 10 {
+		t.Errorf("found %d injected views, want 10", injected)
+	}
+	// Determinism: a second application is identical.
+	out2 := sc.Apply(0, 24*time.Hour, eventViews())
+	if !reflect.DeepEqual(out, out2) {
+		t.Errorf("Apply is not deterministic")
+	}
+}
+
+func TestApplyFlapPhases(t *testing.T) {
+	views := eventViews()
+	c := bgp.NewCommunity(40, 20)
+	sc := &Script{Events: []Event{{Kind: EventFlap, Community: c, At: 0, Duration: 8 * time.Hour, Cycles: 2, Count: 4}}}
+	out := sc.Apply(0, 24*time.Hour, views)
+	// 2 cycles x 4 updates; on-phases are [0,2h) and [4h,6h).
+	var offs []time.Duration
+	for _, tv := range out {
+		if tv.View.Comms.Has(c) {
+			offs = append(offs, tv.At)
+		}
+	}
+	if len(offs) != 8 {
+		t.Fatalf("got %d injected flap views, want 8", len(offs))
+	}
+	for _, off := range offs {
+		inOn := (off >= 0 && off < 2*time.Hour) || (off >= 4*time.Hour && off < 6*time.Hour)
+		if !inOn {
+			t.Errorf("flap view at %v is outside every on-phase", off)
+		}
+	}
+}
+
+func TestApplySpansDays(t *testing.T) {
+	views := eventViews()
+	// Event fully inside day 1: day 0 must be untouched, day 1 perturbed.
+	sc := &Script{Events: []Event{{Kind: EventSpike, Community: bgp.NewCommunity(40, 666), At: 30 * time.Hour, Duration: time.Hour, Count: 5}}}
+	if sc.Affects(0, 24*time.Hour) {
+		t.Errorf("script claims to affect day 0")
+	}
+	if !sc.Affects(24*time.Hour, 48*time.Hour) {
+		t.Errorf("script misses day 1")
+	}
+	day0 := sc.Apply(0, 24*time.Hour, views)
+	if len(day0) != len(views) {
+		t.Errorf("day 0 gained views: %d", len(day0))
+	}
+	day1 := sc.Apply(24*time.Hour, 24*time.Hour, views)
+	if len(day1) != len(views)+5 {
+		t.Errorf("day 1 has %d views, want %d", len(day1), len(views)+5)
+	}
+}

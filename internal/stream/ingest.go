@@ -82,6 +82,12 @@ type Config struct {
 	// of a finite feed), called from the ingest goroutine: the callback
 	// must swap and return, not block.
 	OnSnapshot func(inf *core.Inferences, st WindowStats, lastSeq uint64)
+	// OnUpdate receives every applied update in exact sequence order,
+	// after it entered the window — the tap a streaming consumer (the
+	// anomaly engine) listens on. Called from the ingest goroutine: it
+	// must hand off and return, not block; a slow OnUpdate stalls
+	// ingestion itself.
+	OnUpdate func(u Update)
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -414,13 +420,16 @@ func (in *Ingestor) consume(ctx context.Context, sess Session) (bool, error) {
 	}
 }
 
-// apply feeds one in-order update into the window.
+// apply feeds one in-order update into the window and the OnUpdate tap.
 func (in *Ingestor) apply(u Update) {
 	in.win.Add(u)
 	in.lastSeq.Store(u.Seq)
 	in.lastUpdateAt.Store(time.Now().UnixNano())
 	in.updates.Add(1)
 	in.sinceSnap++
+	if in.cfg.OnUpdate != nil {
+		in.cfg.OnUpdate(u)
+	}
 }
 
 func (in *Ingestor) shouldSnapshot() bool {

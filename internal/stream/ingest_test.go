@@ -361,3 +361,65 @@ func TestIngestorRollingWindowEvicts(t *testing.T) {
 			st.Window.Updates, st.Updates)
 	}
 }
+
+func TestIngestorOnUpdateTap(t *testing.T) {
+	want := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+
+	var mu sync.Mutex
+	var got []Update
+	in, err := Start(context.Background(), Config{
+		Source:           NewSimSource(newTestSim(t), SimConfig{Days: 1}),
+		Classify:         core.DefaultOptions(),
+		SnapshotInterval: -1,
+		OnUpdate: func(u Update) {
+			mu.Lock()
+			got = append(got, u)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if !sameUpdates(got, want) {
+		t.Fatalf("OnUpdate saw %d updates, feed carried %d (or order/content diverged)", len(got), len(want))
+	}
+}
+
+func TestIngestorOnUpdateTapExactlyOnceUnderFaults(t *testing.T) {
+	want := drain(t, NewSimSource(newTestSim(t), SimConfig{Days: 1}), 0, 0)
+
+	var mu sync.Mutex
+	var got []Update
+	in, err := Start(context.Background(), Config{
+		Source: NewFaultSource(NewSimSource(newTestSim(t), SimConfig{Days: 1}), FaultConfig{
+			Seed: 42, Rate: 0.05, StallFor: time.Millisecond,
+		}),
+		Classify:         core.DefaultOptions(),
+		SnapshotInterval: -1,
+		ReadTimeout:      200 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       5 * time.Millisecond,
+		RetryBudget:      -1,
+		OnUpdate: func(u Update) {
+			mu.Lock()
+			got = append(got, u)
+			mu.Unlock()
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Duplicates, reorders and reconnects must be invisible to the tap:
+	// every update exactly once, in sequence order.
+	if !sameUpdates(got, want) {
+		t.Fatalf("OnUpdate under faults saw %d updates, want %d in exact order", len(got), len(want))
+	}
+}

@@ -28,6 +28,13 @@ type SimConfig struct {
 	Interval time.Duration
 	// Epoch is the feed time of day 0; zero means DefaultEpoch.
 	Epoch time.Time
+	// Script, when set, injects ground-truth events into the stream:
+	// days it touches are perturbed (views stripped, bursts inserted)
+	// with exactly known timing, for scoring anomaly detectors. Event
+	// offsets are relative to Epoch; with Loop the events play out once,
+	// at their absolute feed times, and later replays of the same day
+	// are clean.
+	Script *simulate.Script
 }
 
 // SimSource adapts the route-propagation simulator into a resumable
@@ -41,9 +48,10 @@ type SimSource struct {
 	sim *simulate.Simulator
 	cfg SimConfig
 
-	mu   sync.Mutex
-	days [][]simulate.View // day index (mod Days) -> cached views
-	cum  []uint64          // cum[d] = updates before absolute day d
+	mu       sync.Mutex
+	days     [][]simulate.View            // day index (mod Days) -> cached views
+	scripted map[int][]simulate.TimedView // absolute day -> event-perturbed stream
+	cum      []uint64                     // cum[d] = updates before absolute day d
 }
 
 // NewSimSource wraps a simulator as a Source. Days below 1 is treated
@@ -55,18 +63,94 @@ func NewSimSource(sim *simulate.Simulator, cfg SimConfig) *SimSource {
 	if cfg.Epoch.IsZero() {
 		cfg.Epoch = DefaultEpoch
 	}
-	return &SimSource{sim: sim, cfg: cfg, cum: []uint64{0}}
+	return &SimSource{sim: sim, cfg: cfg, cum: []uint64{0}, scripted: make(map[int][]simulate.TimedView)}
 }
 
-// dayViews returns (and caches) the views of one absolute day.
+// dayViews returns (and caches) the clean views of one absolute day.
+// The simulator emits views prefix-major; delivering them in that
+// order would cluster each prefix's routes into a few contiguous
+// minutes of feed time, which no real collector does. interleave
+// spreads them so per-community activity is smooth across the day —
+// the baseline anomaly detectors calibrate against.
 func (s *SimSource) dayViews(absDay int) []simulate.View {
 	gen := absDay % s.cfg.Days
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.days) <= gen {
-		s.days = append(s.days, s.sim.RunDay(len(s.days)).Views)
+		s.days = append(s.days, interleave(s.sim.RunDay(len(s.days)).Views))
 	}
 	return s.days[gen]
+}
+
+// interleave deterministically permutes views by a stride coprime to
+// their count, scattering the simulator's prefix-major runs across the
+// whole sequence.
+func interleave(views []simulate.View) []simulate.View {
+	n := len(views)
+	if n < 2 {
+		return views
+	}
+	stride := n*61803/100000 | 1 // ~1/φ of n, odd
+	for gcd(stride, n) != 1 {
+		stride += 2
+	}
+	out := make([]simulate.View, n)
+	for i := range views {
+		out[i*stride%n] = views[i]
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// scriptedDay returns the event-perturbed timed stream of one absolute
+// day, or (nil, false) when no event touches it. Perturbed days are
+// cached; the script is finite, so the cache is bounded even on a
+// looping feed.
+func (s *SimSource) scriptedDay(absDay int) ([]simulate.TimedView, bool) {
+	sc := s.cfg.Script
+	start := time.Duration(absDay) * simDay
+	if sc == nil || !sc.Affects(start, start+simDay) {
+		return nil, false
+	}
+	s.mu.Lock()
+	tvs, ok := s.scripted[absDay]
+	s.mu.Unlock()
+	if ok {
+		return tvs, true
+	}
+	tvs = sc.Apply(start, simDay, s.dayViews(absDay))
+	s.mu.Lock()
+	if prior, ok := s.scripted[absDay]; ok {
+		tvs = prior // lost races are benign: results are equal
+	} else {
+		s.scripted[absDay] = tvs
+	}
+	s.mu.Unlock()
+	return tvs, true
+}
+
+// dayLen is the update count of one absolute day, script included.
+func (s *SimSource) dayLen(absDay int) int {
+	if tvs, ok := s.scriptedDay(absDay); ok {
+		return len(tvs)
+	}
+	return len(s.dayViews(absDay))
+}
+
+// item returns one absolute day's idx-th view and its feed time.
+func (s *SimSource) item(absDay, idx int) (*simulate.View, time.Time) {
+	if tvs, ok := s.scriptedDay(absDay); ok {
+		return &tvs[idx].View, s.cfg.Epoch.Add(tvs[idx].At)
+	}
+	views := s.dayViews(absDay)
+	off := time.Duration(absDay)*simDay + time.Duration(idx)*(simDay/time.Duration(len(views)))
+	return &views[idx], s.cfg.Epoch.Add(off)
 }
 
 // startSeq returns how many updates precede absolute day d, extending
@@ -82,11 +166,11 @@ func (s *SimSource) startSeq(d int) uint64 {
 		}
 		s.mu.Unlock()
 		// Generate the next missing day outside cum's critical section
-		// (dayViews takes the lock itself).
-		views := s.dayViews(n - 1)
+		// (dayLen takes the lock itself).
+		count := s.dayLen(n - 1)
 		s.mu.Lock()
 		if len(s.cum) == n { // lost races are benign: recompute
-			s.cum = append(s.cum, s.cum[n-1]+uint64(len(views)))
+			s.cum = append(s.cum, s.cum[n-1]+uint64(count))
 		}
 		s.mu.Unlock()
 	}
@@ -124,14 +208,12 @@ func (ss *simSession) Recv(ctx context.Context) (Update, error) {
 		return Update{}, io.EOF
 	}
 	cfg := ss.src.cfg
-	var views []simulate.View
 	for {
 		if !cfg.Loop && ss.day >= cfg.Days {
 			ss.done = true
 			return Update{}, io.EOF
 		}
-		views = ss.src.dayViews(ss.day)
-		if ss.idx < len(views) {
+		if ss.idx < ss.src.dayLen(ss.day) {
 			break
 		}
 		ss.day++ // also skips (unlikely) empty days
@@ -148,10 +230,10 @@ func (ss *simSession) Recv(ctx context.Context) (Update, error) {
 	} else if err := ctx.Err(); err != nil {
 		return Update{}, err
 	}
-	v := &views[ss.idx]
+	v, at := ss.src.item(ss.day, ss.idx)
 	u := Update{
 		Seq:        ss.src.startSeq(ss.day) + uint64(ss.idx) + 1,
-		Time:       cfg.Epoch.Add(time.Duration(ss.day)*simDay + time.Duration(ss.idx)*(simDay/time.Duration(len(views)))),
+		Time:       at,
 		VP:         v.VP,
 		Path:       v.Path,
 		Comms:      v.Comms,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"bgpintent/internal/anomaly"
 	"bgpintent/internal/core"
 	"bgpintent/internal/simulate"
 	"bgpintent/internal/stream"
@@ -27,6 +28,25 @@ type LiveOptions struct {
 	// Interval paces deliveries in wall time; 0 delivers as fast as the
 	// Ingestor reads.
 	Interval time.Duration
+
+	// Events, when non-empty, scripts ground-truth anomalies into the
+	// feed (see simulate.ParseScript):
+	// "spike:<asn>:<value>@<at>+<dur>#<count>" bursts a community,
+	// "strip:<asn>@<at>+<dur>" strips communities on routes through an
+	// AS, "flap:<asn>:<value>@<at>+<dur>#<cycles>x<count>" toggles one;
+	// events are joined with ";" and offsets are relative to the feed
+	// epoch. With Loop the events play once at their absolute times.
+	Events string
+
+	// Anomaly enables CommunityWatch: a streaming detection engine tap
+	// on the feed, queried via Live.Anomalies. AnomalyBucket is the
+	// feed-time bucket width (default 30m), AnomalyHistory the baseline
+	// buckets kept per series (default 32), AnomalyBuffer the hand-off
+	// queue depth (default 4096).
+	Anomaly        bool
+	AnomalyBucket  time.Duration
+	AnomalyHistory int
+	AnomalyBuffer  int
 
 	// FaultRate, when positive, wraps the feed in the deterministic
 	// fault injector: each delivery fails with this probability, drawing
@@ -117,6 +137,7 @@ type LiveStats struct {
 type Live struct {
 	in     *stream.Ingestor
 	faults *stream.FaultSource // nil without injection
+	watch  *anomaly.Watcher    // nil unless Anomaly was enabled
 }
 
 // StartLive builds the simulated feed and starts ingesting it. It
@@ -147,10 +168,19 @@ func StartLive(ctx context.Context, opts LiveOptions) (*Live, error) {
 		return nil, fmt.Errorf("bgpintent: generating live topology: %w", err)
 	}
 
+	var script *simulate.Script
+	if opts.Events != "" {
+		script, err = simulate.ParseScript(opts.Events)
+		if err != nil {
+			return nil, fmt.Errorf("bgpintent: parsing event script: %w", err)
+		}
+	}
+
 	var src stream.Source = stream.NewSimSource(simulate.New(topo, scfg), stream.SimConfig{
 		Days:     opts.Days,
 		Loop:     opts.Loop,
 		Interval: opts.Interval,
+		Script:   script,
 	})
 	var faults *stream.FaultSource
 	if opts.FaultRate > 0 {
@@ -169,12 +199,33 @@ func StartLive(ctx context.Context, opts LiveOptions) (*Live, error) {
 	}
 	copts.Workers = opts.Params.Parallelism
 
+	var watch *anomaly.Watcher
+	var onUpdate func(u stream.Update)
+	if opts.Anomaly {
+		eng := anomaly.NewEngine(anomaly.Options{
+			BucketSpan: opts.AnomalyBucket,
+			History:    opts.AnomalyHistory,
+			Logf:       opts.Logf,
+		})
+		watch = anomaly.StartWatcher(ctx, eng, opts.AnomalyBuffer)
+		onUpdate = watch.Offer
+	}
+
 	scfgSource := fmt.Sprintf("live-sim(seed=%d,days=%d,loop=%v,fault=%g)",
 		opts.Seed, opts.Days, opts.Loop, opts.FaultRate)
 	var onSnap func(inf *core.Inferences, st stream.WindowStats, lastSeq uint64)
-	if opts.OnSnapshot != nil {
+	if opts.OnSnapshot != nil || watch != nil {
 		cb := opts.OnSnapshot
 		onSnap = func(inf *core.Inferences, st stream.WindowStats, lastSeq uint64) {
+			if watch != nil {
+				// Every published classification generation refreshes the
+				// detectors' semantics — findings attribute with the newest
+				// inference, no restart involved.
+				watch.SetSemantics(inf)
+			}
+			if cb == nil {
+				return
+			}
 			cb(newResult(inf), SnapshotInfo{
 				Created:          time.Now(),
 				Source:           scfgSource,
@@ -191,6 +242,7 @@ func StartLive(ctx context.Context, opts LiveOptions) (*Live, error) {
 		Source:   src,
 		Window:   stream.WindowConfig{Span: opts.WindowSpan, Buckets: opts.WindowBuckets},
 		Classify: copts,
+		OnUpdate: onUpdate,
 
 		ReadTimeout: opts.ReadTimeout,
 		StaleAfter:  opts.StaleAfter,
@@ -207,8 +259,13 @@ func StartLive(ctx context.Context, opts LiveOptions) (*Live, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Live{in: in, faults: faults}, nil
+	return &Live{in: in, faults: faults, watch: watch}, nil
 }
+
+// Anomalies returns the CommunityWatch watcher when LiveOptions.Anomaly
+// was set, nil otherwise. The watcher serves windowed finding queries
+// and detection health, and satisfies serve.AnomalySource.
+func (l *Live) Anomalies() *anomaly.Watcher { return l.watch }
 
 // Health reports the feed's current degradation-aware verdict.
 func (l *Live) Health() LiveHealth {

@@ -13,6 +13,9 @@
 #     live) yet updates and snapshots keep accumulating;
 #   - /v1/health transitions healthy -> stale -> healthy as injected
 #     stalls outrun the staleness budget and ingestion recovers;
+#   - CommunityWatch stays available: /v1/anomalies answers 200 with a
+#     monotone semantics generation through every injected fault, and
+#     the detection engine keeps consuming updates;
 #   - a clean SIGTERM drain at the end.
 #
 # Exits nonzero on the first violated assertion.
@@ -77,16 +80,28 @@ if h["mode"] != "live" or not h.get("feed"):
 # Phase 1: hammer. Any non-200, parse error, or connection failure
 # raises and fails the smoke -- that IS the availability assertion.
 polls, last_gen = 0, 0
+last_sem_gen = last_anom_gen = 0
 saw_stale = recovered = False
 end = time.time() + window
 while time.time() < end:
     h = get("/v1/health")
     s = get("/v1/stats")
+    a = get("/v1/anomalies")
     polls += 1
     gen = h["generation"]
     if gen < last_gen:
         sys.exit(f"generation went backwards: {last_gen} -> {gen} (torn swap)")
     last_gen = gen
+    if a["generation"] < last_anom_gen:
+        sys.exit(f"anomaly snapshot generation went backwards: "
+                 f"{last_anom_gen} -> {a['generation']}")
+    last_anom_gen = a["generation"]
+    if a["semantics_generation"] < last_sem_gen:
+        sys.exit(f"anomaly semantics generation went backwards: "
+                 f"{last_sem_gen} -> {a['semantics_generation']}")
+    last_sem_gen = a["semantics_generation"]
+    if not h.get("anomalies"):
+        sys.exit(f"live health lacks the anomalies block: {h}")
     if not s["source"].startswith("live:seq="):
         sys.exit(f"served a non-feed snapshot mid-chaos: {s['source']!r}")
     if s["action"] + s["information"] == 0:
@@ -119,15 +134,30 @@ if feed["updates"] < 2000:
     sys.exit(f"only {feed['updates']} updates applied: the feed did not survive the faults")
 if feed["snapshots"] < 2:
     sys.exit(f"only {feed['snapshots']} snapshots installed")
+anom = h["anomalies"]
+# The tap hands every applied update to the engine through a 4096-deep
+# buffer; anything beyond buffered slack must have been consumed.
+if anom["updates"] + anom["dropped"] + 4096 < feed["updates"]:
+    sys.exit(f"CommunityWatch consumed only {anom['updates']} updates "
+             f"of {feed['updates']} applied: the tap fell behind")
+if last_sem_gen < 1:
+    sys.exit("CommunityWatch never received classified semantics")
 print(f"chaos OK: {polls} polls all 200, gen {last_gen}, "
       f"{feed['updates']} updates, {feed['reconnects']} reconnects, "
-      f"{feed['snapshots']} snapshots, healthy->stale->healthy observed")
+      f"{feed['snapshots']} snapshots, healthy->stale->healthy observed; "
+      f"anomalies: {anom['updates']} updates, semantics gen {last_sem_gen}, "
+      f"{anom['findings']} findings, {anom['dropped']} dropped")
 PYEOF
 
 echo "== feed counters reached /metrics"
 prom=$(curl -sf --max-time 10 "http://$addr/metrics") || fail "/metrics unreachable"
 echo "$prom" | grep -q '^intentd_feed_updates_total [0-9]' || fail "/metrics misses feed update counter"
 echo "$prom" | grep -q '^intentd_feed_reconnects_total [0-9]' || fail "/metrics misses feed reconnect counter"
+
+echo "== anomaly counters reached /metrics"
+echo "$prom" | grep -q '^intentd_anomaly_updates_total [1-9]' || fail "/metrics misses anomaly update counter (or it is zero)"
+echo "$prom" | grep -q '^intentd_anomaly_buckets_total [0-9]' || fail "/metrics misses anomaly bucket counter"
+echo "$prom" | grep -q 'intentd_anomaly_detector_findings_total{detector="spike"}' || fail "/metrics misses per-detector finding series"
 
 echo "== reload stays disabled under chaos"
 code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 -X POST "http://$addr/v1/admin/reload")
