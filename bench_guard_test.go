@@ -1,6 +1,6 @@
 package bgpintent
 
-// Bench regression guard: a cheap CI tripwire that re-measures the two
+// Bench regression guard: a cheap CI tripwire that re-measures the
 // numbers this codebase stakes its performance story on and compares
 // them against the committed BENCH_pipeline.json baseline:
 //
@@ -10,7 +10,10 @@ package bgpintent
 //     allocation-free hot path has been eroded;
 //   - classify speedup at workers=4 vs workers=1 — fails below 1.0×,
 //     which would mean parallel classification went back to being
-//     slower than sequential (the pre-CSR pathology was 0.72×).
+//     slower than sequential (the pre-CSR pathology was 0.72×);
+//   - load_mrt speedup at workers=4 vs workers=1 (only with >=4
+//     schedulable CPUs) — fails below 1.5×, which would mean the
+//     merge-free parallel load path has re-serialized.
 //
 // Gated behind BGPINTENT_BENCH_GUARD=1 because it runs the pipeline at
 // benchmark fidelity (tens of seconds):
@@ -35,6 +38,13 @@ const (
 	// noise out of the ratio; a genuine regression to the old
 	// merge-heavy Observe shows up as ~0.7, far below the floor.
 	guardMinClassifySpeedup = 1.0
+	// guardMinLoadSpeedup is the floor for load_mrt's workers=4 speedup
+	// over sequential, checked only with >=4 schedulable CPUs. The
+	// merge-free store plus the frame/decode split should deliver well
+	// above 2x at 4 workers; 1.5x is the tripwire for the load path
+	// quietly re-serializing (a global lock on the hot path, the split
+	// pipeline failing to activate, or a stitch that re-copies data).
+	guardMinLoadSpeedup = 1.5
 )
 
 func TestBenchGuard(t *testing.T) {
@@ -90,19 +100,19 @@ func TestBenchGuard(t *testing.T) {
 			allocsPerTuple, limit, baseAllocsPerTuple, int(guardLoadAllocHeadroom*100)-100)
 	}
 
-	// Classify parallel scaling: best-of-3 at each worker count. On a
+	// Parallel scaling: best-of-3 at each worker count. On a
 	// single-core host a workers=4 run measures scheduler overhead, not
-	// parallelism, so the check would reject healthy code — skip it.
+	// parallelism, so the checks would reject healthy code — skip them.
 	if runtime.GOMAXPROCS(0) < 2 {
-		t.Logf("GOMAXPROCS=%d: skipping classify speedup check (meaningless on one core)", runtime.GOMAXPROCS(0))
+		t.Logf("GOMAXPROCS=%d: skipping speedup checks (meaningless on one core)", runtime.GOMAXPROCS(0))
 		return
 	}
-	measure := func(workers int) int64 {
+	bestOf3 := func(fn func()) int64 {
 		best := int64(math.MaxInt64)
 		for i := 0; i < 3; i++ {
 			r := testing.Benchmark(func(b *testing.B) {
 				for j := 0; j < b.N; j++ {
-					warm.Classify(Params{Parallelism: workers})
+					fn()
 				}
 			})
 			if ns := r.NsPerOp(); ns < best {
@@ -111,13 +121,39 @@ func TestBenchGuard(t *testing.T) {
 		}
 		return best
 	}
-	seq := measure(1)
-	par := measure(4)
+	classify := func(workers int) int64 {
+		return bestOf3(func() { warm.Classify(Params{Parallelism: workers}) })
+	}
+	seq := classify(1)
+	par := classify(4)
 	speedup := float64(seq) / float64(par)
 	t.Logf("classify: workers=1 %dns, workers=4 %dns, speedup %.3f", seq, par, speedup)
 	if speedup < guardMinClassifySpeedup {
 		t.Errorf("classify speedup at workers=4 is %.3fx, want >= %.2fx — parallel classification is slower than sequential",
 			speedup, guardMinClassifySpeedup)
+	}
+
+	// Load scaling needs at least as many schedulable CPUs as workers;
+	// at GOMAXPROCS 2-3 a workers=4 ratio understates the pipeline.
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Logf("GOMAXPROCS=%d: skipping load_mrt speedup check (needs >=4)", runtime.GOMAXPROCS(0))
+		return
+	}
+	load := func(workers int) int64 {
+		return bestOf3(func() {
+			if _, _, err := LoadMRTCorpusOptions(ribs, nil, "", LoadOptions{Parallelism: workers}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	loadSeq := load(1)
+	loadPar := load(4)
+	loadSpeedup := float64(loadSeq) / float64(loadPar)
+	t.Logf("load_mrt: workers=1 %dns, workers=4 %dns, speedup %.3f (%d rib files)",
+		loadSeq, loadPar, loadSpeedup, len(ribs))
+	if loadSpeedup < guardMinLoadSpeedup {
+		t.Errorf("load_mrt speedup at workers=4 is %.3fx, want >= %.2fx — the parallel load path has re-serialized",
+			loadSpeedup, guardMinLoadSpeedup)
 	}
 }
 

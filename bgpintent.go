@@ -63,9 +63,14 @@ type (
 // spans emitted concurrently by ingestion workers; the rest are
 // sequential top-level stages.
 const (
-	StageOpen          = obs.StageOpen
-	StageDecode        = obs.StageDecode
-	StageStoreAdd      = obs.StageStoreAdd
+	StageOpen     = obs.StageOpen
+	StageDecode   = obs.StageDecode
+	StageFrame    = obs.StageFrame
+	StageStoreAdd = obs.StageStoreAdd
+	StageStitch   = obs.StageStitch
+	// StageShardMerge is the pre-stitch name of the shard-collapse
+	// phase; loads no longer emit it. Kept so existing trace consumers
+	// keep building.
 	StageShardMerge    = obs.StageShardMerge
 	StageObserve       = obs.StageObserve
 	StageCluster       = obs.StageCluster
@@ -226,12 +231,18 @@ type LoadOptions struct {
 	// fraction of corrupt records above which the load aborts. 0 means
 	// DefaultMaxErrorRate; negative disables the budget.
 	MaxErrorRate float64
-	// Parallelism bounds concurrent file ingestion: 0 means one worker
-	// per CPU (GOMAXPROCS), 1 forces the sequential load path. Any
-	// setting produces an identical corpus and identical LoadStats.
+	// Parallelism bounds concurrent decode workers: 0 means one worker
+	// per CPU (GOMAXPROCS), 1 forces the sequential load path. With
+	// more workers than input files the ingestion layer splits single
+	// files across workers (frame/decode pipeline). Any setting
+	// produces an identical corpus and identical LoadStats.
 	Parallelism int
+	// ForceFrameSplit makes ingestion split every file across the
+	// decode workers even when file-level parallelism would cover them.
+	// For tests and experiments; output is identical either way.
+	ForceFrameSplit bool
 	// Observer, when non-nil, receives per-file open/decode spans, the
-	// store-add and shard-merge stage spans, and progress events. It
+	// frame, store-add and stitch stage spans, and progress events. It
 	// does not change results: an observed load produces a corpus
 	// byte-identical to an unobserved one.
 	Observer Observer
@@ -330,7 +341,12 @@ func LoadMRT(ctx context.Context, src Sources, opts LoadOptions) (*Corpus, LoadS
 	defer tr.Close()
 
 	c := &Corpus{orgs: asrel.NewOrgMap()}
-	iopts := ingest.Options{Strict: opts.Strict, MaxErrorRate: opts.MaxErrorRate, Tracer: tr}
+	iopts := ingest.Options{
+		Strict:          opts.Strict,
+		MaxErrorRate:    opts.MaxErrorRate,
+		Tracer:          tr,
+		ForceFrameSplit: opts.ForceFrameSplit,
+	}
 	ist := &ingest.Stats{}
 
 	files := make([]ingest.InputFile, 0, len(src.RIBs)+len(src.Updates))
@@ -343,9 +359,12 @@ func LoadMRT(ctx context.Context, src Sources, opts LoadOptions) (*Corpus, LoadS
 	tr.SetFiles(int64(len(files)))
 	tr.StartProgress()
 
-	// One decode worker per file, each feeding the sharded store; the
-	// deterministic merge makes the corpus independent of scheduling.
-	sts := core.NewShardedTupleStore(4 * core.ResolveWorkers(opts.Parallelism))
+	// Decode workers feed the sharded store; the deterministic stitch
+	// makes the corpus independent of scheduling. The shard count is
+	// fixed (not derived from Parallelism) so each shard's contents —
+	// and therefore the stitched layout — are identical at any worker
+	// count.
+	sts := core.NewShardedTupleStore(64)
 	ribFn := func(v *mrt.RIBView) error {
 		sts.AddViewASPath(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities)
 		sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
@@ -371,11 +390,11 @@ func LoadMRT(ctx context.Context, src Sources, opts LoadOptions) (*Corpus, LoadS
 	if err != nil {
 		return nil, loadStats(ist), err
 	}
-	err = tr.Stage(ctx, obs.StageShardMerge, "", func(s *obs.Span) {
+	err = tr.Stage(ctx, obs.StageStitch, "", func(s *obs.Span) {
 		s.Tuples = int64(c.store.Len())
 		tr.AddTuples(int64(c.store.Len()))
 	}, func(ctx context.Context) error {
-		c.store = sts.Merge()
+		c.store = sts.Stitch(opts.Parallelism)
 		return nil
 	})
 	if err != nil {

@@ -337,7 +337,7 @@ func TestTraceJSONStream(t *testing.T) {
 		}
 	}
 	for _, stage := range []string{
-		"open", "decode", "store-add", "shard-merge",
+		"open", "decode", "store-add", "stitch",
 		"observe", "cluster", "ratio", "classify", "snapshot-write",
 	} {
 		if !ended[stage] {

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc guards skip under -race: race-mode sync.Pool randomly
+// drops Put items (see sync/pool.go), so pool-backed hot paths
+// allocate probabilistically and AllocsPerRun flickers between 0 and 1
+// with no real regression.
+const raceEnabled = true

@@ -11,7 +11,7 @@ import (
 // ShardedTupleStore is a concurrency-safe TupleStore front: AddView
 // hashes the path key to one of N shards, each an independent
 // TupleStore behind its own mutex, so parallel MRT workers ingest
-// without contending on one lock. Merge collapses the shards into a
+// without contending on one lock. Stitch collapses the shards into a
 // single canonical TupleStore whose contents are deterministic — the
 // same input views produce a byte-identical store regardless of worker
 // count or goroutine scheduling.
@@ -19,10 +19,18 @@ import (
 // Because shard routing is a pure function of the path key, every
 // observation of one path lands in the same shard, so per-shard
 // deduplication is global deduplication: no cross-shard reconciliation
-// is needed at merge time.
+// is needed at stitch time.
+//
+// All shards run their TupleStores in shared-storage mode against one
+// storeShared: community lists intern into one lock-free global table
+// and path ASN sequences land in one globally addressed arena, so
+// every span a shard writes is already valid in the stitched store and
+// Stitch moves only index-sized data (tuple records, path metas, VP
+// lists) — never community or ASN payloads.
 type ShardedTupleStore struct {
 	shards []tupleShard
 	mask   uint64
+	shared *storeShared
 }
 
 type tupleShard struct {
@@ -41,9 +49,15 @@ func NewShardedTupleStore(n int) *ShardedTupleStore {
 	for size < n {
 		size <<= 1
 	}
-	s := &ShardedTupleStore{shards: make([]tupleShard, size), mask: uint64(size - 1)}
+	s := &ShardedTupleStore{
+		shards: make([]tupleShard, size),
+		mask:   uint64(size - 1),
+		shared: &storeShared{},
+	}
 	for i := range s.shards {
-		s.shards[i].ts = NewTupleStore()
+		ts := NewTupleStore()
+		ts.shared = s.shared
+		s.shards[i].ts = ts
 	}
 	return s
 }
@@ -109,37 +123,54 @@ func (s *ShardedTupleStore) Len() int {
 	return n
 }
 
-// Merge collapses the shards into one canonical TupleStore. Within each
-// shard, tuples are emitted in (path key, communities) order, and
-// shards are visited in index order; both orders are independent of how
-// observations interleaved across goroutines, so the merged store is
-// deterministic for a given input set. The merged store takes ownership
-// of the shard contents; the sharded store must not be used afterwards.
+// Stitch collapses the shards into one canonical TupleStore without
+// moving any community or ASN payload: every shard span already points
+// into the shared cross-shard storage, so stitching is index work —
+// sort each shard's tuples into (path key, communities) order, renumber
+// its paths into a contiguous global range, and copy the tuple records,
+// path metas, and VP lists into disjoint pre-sized regions of the
+// output. Shards are laid out in index order, and each is sorted by
+// content, so the result is deterministic — the same input views
+// produce a byte-identical store regardless of worker count or
+// goroutine scheduling (shard routing is content-hashed, so shard
+// membership itself never depends on scheduling). The per-shard work
+// runs on up to workers goroutines (<= 0 means GOMAXPROCS): the
+// regions are disjoint, so the phase parallelizes without locks.
 //
-// The merged arenas are pre-sized from the shard totals and VP lists
-// are copied compacted (capacity == length), so the merged store
+// The stitched store takes ownership of the shard contents and the
+// shared storage; the sharded store must not be used afterwards. Its
+// lookup maps are left nil and rebuilt lazily on the first AddView —
+// pure readers (Observe, snapshot write) never pay for them. VP lists
+// are copied compacted (capacity == length), so the stitched store
 // carries none of the shards' growth slack.
-func (s *ShardedTupleStore) Merge() *TupleStore {
-	out := NewTupleStore()
-	var nTuples, nComms, nVPs, nPaths, nASNs int
+func (s *ShardedTupleStore) Stitch(workers int) *TupleStore {
+	n := len(s.shards)
+	tupleOff := make([]int, n+1)
+	pathOff := make([]int, n+1)
+	vpOff := make([]int, n+1)
+	large := make(map[bgp.LargeCommunity]struct{})
 	for i := range s.shards {
 		ts := s.shards[i].ts
-		nTuples += len(ts.tuples)
-		nComms += len(ts.commArena)
-		nPaths += len(ts.paths)
-		nASNs += len(ts.asnArena)
+		nVPs := 0
 		for j := range ts.tuples {
 			nVPs += int(ts.tuples[j].vpLen)
 		}
+		tupleOff[i+1] = tupleOff[i] + len(ts.tuples)
+		pathOff[i+1] = pathOff[i] + len(ts.paths)
+		vpOff[i+1] = vpOff[i] + nVPs
+		for lc := range ts.large {
+			large[lc] = struct{}{}
+		}
 	}
-	out.tuples = make([]Tuple, 0, nTuples)
-	out.commArena = make([]bgp.Community, 0, nComms)
-	out.vpArena = make([]uint32, 0, nVPs)
-	out.paths = make([]pathMeta, 0, nPaths)
-	out.asnArena = make([]uint32, 0, nASNs)
-	out.pathKeys = make([]string, 0, nPaths)
-
-	for i := range s.shards {
+	out := &TupleStore{
+		shared:   s.shared,
+		tuples:   make([]Tuple, tupleOff[n]),
+		paths:    make([]pathMeta, pathOff[n]),
+		pathKeys: make([]string, pathOff[n]),
+		vpArena:  make([]uint32, vpOff[n]),
+		large:    large,
+	}
+	ParallelFor(workers, n, func(i int) {
 		ts := s.shards[i].ts
 		order := make([]int32, len(ts.tuples))
 		for j := range order {
@@ -152,49 +183,45 @@ func (s *ShardedTupleStore) Merge() *TupleStore {
 			}
 			return compareComms(ts.TupleComms(ta), ts.TupleComms(tb))
 		})
-		for _, ti := range order {
+		// Paths get their global IDs in ascending path-key order — the
+		// same first-appearance order the sorted tuple emission implies,
+		// matching what the old full merge produced.
+		porder := make([]int32, len(ts.paths))
+		for j := range porder {
+			porder[j] = int32(j)
+		}
+		slices.SortFunc(porder, func(a, b int32) int {
+			return strings.Compare(ts.pathKeys[a], ts.pathKeys[b])
+		})
+		remap := make([]int32, len(ts.paths))
+		for rank, old := range porder {
+			id := int32(pathOff[i] + rank)
+			remap[old] = id
+			out.paths[id] = ts.paths[old]
+			out.pathKeys[id] = ts.pathKeys[old]
+		}
+		vpCur := uint32(vpOff[i])
+		for j, ti := range order {
 			t := &ts.tuples[ti]
-			key := ts.pathKeys[t.PathID]
-			id, ok := out.pathIDs[key]
-			if !ok {
-				// Shard routing is a pure function of the path key, so
-				// this path cannot appear in any other shard: copy its
-				// ASNs over once.
-				id = int32(len(out.paths))
-				asns := ts.Path(t.PathID).ASNs
-				off := uint32(len(out.asnArena))
-				out.asnArena = append(out.asnArena, asns...)
-				out.paths = append(out.paths, pathMeta{asns: span{off: off, n: uint32(len(asns))}})
-				out.pathIDs[key] = id
-				out.pathKeys = append(out.pathKeys, key)
-			}
-			comms := ts.TupleComms(t)
 			vps := ts.TupleVPs(t)
-			commOff := uint32(len(out.commArena))
-			out.commArena = append(out.commArena, comms...)
-			vpOff := uint32(len(out.vpArena))
-			out.vpArena = append(out.vpArena, vps...)
-			idx := int32(len(out.tuples))
-			tk := tupleKey{pathID: id, commsHash: hashComms(comms)}
-			if _, dup := out.tupleIdx[tk]; dup {
-				if out.tupleDup == nil {
-					out.tupleDup = make(map[tupleKey][]int32)
-				}
-				out.tupleDup[tk] = append(out.tupleDup[tk], idx)
-			} else {
-				out.tupleIdx[tk] = idx
+			copy(out.vpArena[vpCur:], vps)
+			out.tuples[tupleOff[i]+j] = Tuple{
+				PathID: remap[t.PathID],
+				comms:  t.comms,
+				vpOff:  vpCur, vpLen: uint32(len(vps)), vpCap: uint32(len(vps)),
 			}
-			out.tuples = append(out.tuples, Tuple{
-				PathID: id,
-				comms:  span{off: commOff, n: uint32(len(comms))},
-				vpOff:  vpOff, vpLen: uint32(len(vps)), vpCap: uint32(len(vps)),
-			})
+			vpCur += uint32(len(vps))
 		}
-		for lc := range ts.large {
-			out.large[lc] = struct{}{}
-		}
-	}
+	})
 	return out
+}
+
+// Merge collapses the shards into one canonical TupleStore.
+//
+// Deprecated: Merge is the old name for the stitch phase; it now
+// delegates to Stitch with default (GOMAXPROCS) parallelism.
+func (s *ShardedTupleStore) Merge() *TupleStore {
+	return s.Stitch(0)
 }
 
 // compareComms orders canonical community lists lexicographically.

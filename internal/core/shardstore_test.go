@@ -116,7 +116,15 @@ func TestShardedMergeMatchesSequential(t *testing.T) {
 		if got, want := sts.Len(), seq.Len(); got != want {
 			t.Fatalf("shards=%d: Len=%d, want %d", shards, got, want)
 		}
-		merged := sts.Merge()
+		// Odd shard counts exercise the deprecated Merge wrapper; the
+		// rest call Stitch directly with a worker count that differs
+		// from the shard count.
+		var merged *TupleStore
+		if shards%2 == 1 {
+			merged = sts.Merge()
+		} else {
+			merged = sts.Stitch(3)
+		}
 		if merged.PathCount() != seq.PathCount() {
 			t.Fatalf("shards=%d: PathCount=%d, want %d", shards, merged.PathCount(), seq.PathCount())
 		}
@@ -150,7 +158,9 @@ func TestShardedMergeDeterministic(t *testing.T) {
 			}(w)
 		}
 		wg.Wait()
-		dump := dumpStore(sts.Merge())
+		// Stitch with as many workers as writers: determinism must hold
+		// across both the feeding and the stitching parallelism.
+		dump := dumpStore(sts.Stitch(writers))
 		if reference == nil {
 			reference = dump
 			continue

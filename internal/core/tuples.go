@@ -69,19 +69,30 @@ type tupleKey struct {
 // append-only arenas. The hot ingest path therefore allocates only
 // when an arena or the flat slice grows, not per tuple.
 type TupleStore struct {
+	// shared, when non-nil, switches the store to shared-storage mode:
+	// community lists resolve through the cross-shard intern table and
+	// path ASN sequences live in the cross-shard arena, so spans are
+	// global and a ShardedTupleStore.Stitch moves no payload data. A
+	// plain NewTupleStore leaves it nil and keeps the local arenas.
+	shared *storeShared
+
 	paths    []pathMeta
-	asnArena []uint32 // all interned path ASN sequences
+	asnArena []uint32 // all interned path ASN sequences (nil in shared mode)
 	orgArena []string // all path org lists (filled by AnnotateOrgs)
 	pathIDs  map[string]int32
 	pathKeys []string // path ID -> binary path key (shares pathIDs' key storage)
 
 	tuples    []Tuple
-	commArena []bgp.Community // all tuple community lists (append-only, never relocated)
+	commArena []bgp.Community // all tuple community lists (append-only; nil in shared mode)
 	vpArena   []uint32        // all tuple VP lists (relocating; see Tuple)
 
 	// tupleIdx maps a dedup key to its first tuple; tupleDup holds the
 	// (vanishingly rare) extra tuples whose communities collide on the
-	// hash, so the common case costs one map entry and zero slices.
+	// hash, so the common case costs one map entry and zero slices. In
+	// shared mode the key's commsHash field carries the exact intern ref
+	// instead of a content hash, so collisions cannot happen and
+	// tupleDup stays empty. A stitched store leaves both nil; the first
+	// AddView rebuilds them (see reindex).
 	tupleIdx map[tupleKey]int32
 	tupleDup map[tupleKey][]int32
 
@@ -132,6 +143,7 @@ type addScratch struct {
 	key   []byte
 	comms bgp.Communities
 	flat  []uint32 // AS-path flattening buffer for AddViewASPath
+	asns  []uint32 // distinct-ASN buffer for shared-mode path interning
 }
 
 var addScratchPool = sync.Pool{New: func() any { return new(addScratch) }}
@@ -173,21 +185,36 @@ func commsEqual(a, b bgp.Communities) bool {
 // internPathKey returns the path ID for a path whose binary key has
 // already been rendered, creating the entry if new. The key bytes are
 // only copied to a string on insertion; lookups are allocation-free.
-// The distinct-ASN sequence is appended to the shared ASN arena (AS
-// paths are short, so the in-arena dedup scan beats a map).
-func (ts *TupleStore) internPathKey(key []byte, path []uint32) int32 {
+// The distinct-ASN sequence is appended to the store's ASN arena (AS
+// paths are short, so the dedup scan beats a map); in shared mode it
+// goes through pooled scratch into the cross-shard arena, so the
+// resulting span is globally addressed.
+func (ts *TupleStore) internPathKey(key []byte, path []uint32, sc *addScratch) int32 {
 	if id, ok := ts.pathIDs[string(key)]; ok {
 		return id
 	}
 	id := int32(len(ts.paths))
-	off := uint32(len(ts.asnArena))
-	for _, asn := range path {
-		if !containsASN(ts.asnArena[off:], asn) {
-			ts.asnArena = append(ts.asnArena, asn)
+	var asns span
+	if ts.shared != nil {
+		buf := sc.asns[:0]
+		for _, asn := range path {
+			if !containsASN(buf, asn) {
+				buf = append(buf, asn)
+			}
 		}
+		sc.asns = buf
+		asns = span{off: ts.shared.asns.append(buf), n: uint32(len(buf))}
+	} else {
+		off := uint32(len(ts.asnArena))
+		for _, asn := range path {
+			if !containsASN(ts.asnArena[off:], asn) {
+				ts.asnArena = append(ts.asnArena, asn)
+			}
+		}
+		asns = span{off: off, n: uint32(len(ts.asnArena)) - off}
 	}
 	skey := string(key)
-	ts.paths = append(ts.paths, pathMeta{asns: span{off: off, n: uint32(len(ts.asnArena)) - off}})
+	ts.paths = append(ts.paths, pathMeta{asns: asns})
 	ts.pathIDs[skey] = id
 	ts.pathKeys = append(ts.pathKeys, skey)
 	return id
@@ -211,9 +238,32 @@ func (ts *TupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
 // sc also carries the canonicalization scratch. Shared by the plain and
 // sharded stores.
 func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms bgp.Communities, sc *addScratch) {
-	id := ts.internPathKey(key, path)
+	if ts.tupleIdx == nil {
+		ts.reindex()
+	}
+	id := ts.internPathKey(key, path, sc)
 	sc.comms = canonicalInto(sc.comms, comms)
 	canon := sc.comms
+	if ts.shared != nil {
+		// The intern ref is an exact identity for the canonical list, so
+		// the dedup key needs no content comparison and cannot collide.
+		ref := ts.shared.comms.intern(canon)
+		tk := tupleKey{pathID: id, commsHash: ref}
+		if ti, ok := ts.tupleIdx[tk]; ok {
+			ts.addVP(ti, vp)
+			return
+		}
+		ts.tupleIdx[tk] = int32(len(ts.tuples))
+		off, n := unpackRef(ref)
+		vpOff := uint32(len(ts.vpArena))
+		ts.vpArena = append(ts.vpArena, vp)
+		ts.tuples = append(ts.tuples, Tuple{
+			PathID: id,
+			comms:  span{off: off, n: n},
+			vpOff:  vpOff, vpLen: 1, vpCap: 1,
+		})
+		return
+	}
 	tk := tupleKey{pathID: id, commsHash: hashComms(canon)}
 	if ti, ok := ts.tupleIdx[tk]; ok {
 		if ts.addVPIfMatch(ti, canon, vp) {
@@ -243,17 +293,55 @@ func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms b
 	})
 }
 
+// reindex rebuilds the lookup maps from the columnar data. A stitched
+// store arrives with nil maps — readers never need them, and building
+// them eagerly would put a serial map-construction pass back into the
+// load path — so the first post-stitch AddView pays for them lazily.
+func (ts *TupleStore) reindex() {
+	ts.pathIDs = make(map[string]int32, len(ts.pathKeys))
+	for i, key := range ts.pathKeys {
+		ts.pathIDs[key] = int32(i)
+	}
+	ts.tupleIdx = make(map[tupleKey]int32, len(ts.tuples))
+	for i := range ts.tuples {
+		t := &ts.tuples[i]
+		var tk tupleKey
+		if ts.shared != nil {
+			tk = tupleKey{pathID: t.PathID, commsHash: packRef(t.comms.off, t.comms.n)}
+		} else {
+			tk = tupleKey{pathID: t.PathID, commsHash: hashComms(ts.TupleComms(t))}
+		}
+		if _, dup := ts.tupleIdx[tk]; dup {
+			if ts.tupleDup == nil {
+				ts.tupleDup = make(map[tupleKey][]int32)
+			}
+			ts.tupleDup[tk] = append(ts.tupleDup[tk], int32(i))
+		} else {
+			ts.tupleIdx[tk] = int32(i)
+		}
+	}
+	if ts.large == nil {
+		ts.large = make(map[bgp.LargeCommunity]struct{})
+	}
+}
+
 // addVPIfMatch merges vp into tuple ti if its communities equal canon,
 // reporting whether it did.
 func (ts *TupleStore) addVPIfMatch(ti int32, canon bgp.Communities, vp uint32) bool {
-	t := &ts.tuples[ti]
-	if !commsEqual(ts.TupleComms(t), canon) {
+	if !commsEqual(ts.TupleComms(&ts.tuples[ti]), canon) {
 		return false
 	}
+	ts.addVP(ti, vp)
+	return true
+}
+
+// addVP inserts vp into tuple ti's sorted VP list (no-op when present).
+func (ts *TupleStore) addVP(ti int32, vp uint32) {
+	t := &ts.tuples[ti]
 	vps := ts.vpArena[t.vpOff : t.vpOff+t.vpLen]
 	pos, found := slices.BinarySearch(vps, vp)
 	if found {
-		return true
+		return
 	}
 	if t.vpLen == t.vpCap {
 		ts.growVPs(t)
@@ -262,7 +350,6 @@ func (ts *TupleStore) addVPIfMatch(ti int32, canon bgp.Communities, vp uint32) b
 	copy(vps[pos+1:], vps[pos:])
 	vps[pos] = vp
 	t.vpLen++
-	return true
 }
 
 // growVPs doubles a tuple's VP capacity: in place when the tuple sits at
@@ -292,9 +379,18 @@ func (ts *TupleStore) PathCount() int { return len(ts.paths) }
 func (ts *TupleStore) Path(id int32) PathInfo {
 	p := &ts.paths[id]
 	return PathInfo{
-		ASNs: ts.asnArena[p.asns.off : p.asns.off+p.asns.n],
+		ASNs: ts.pathASNs(p),
 		Orgs: ts.orgArena[p.orgs.off : p.orgs.off+p.orgs.n],
 	}
+}
+
+// pathASNs resolves a path's distinct-ASN span against whichever arena
+// holds it (cross-shard in shared mode, local otherwise).
+func (ts *TupleStore) pathASNs(p *pathMeta) []uint32 {
+	if ts.shared != nil {
+		return ts.shared.asns.view(p.asns.off, p.asns.n)
+	}
+	return ts.asnArena[p.asns.off : p.asns.off+p.asns.n]
 }
 
 // Tuples returns the flat tuple slice (shared storage; do not mutate).
@@ -302,8 +398,11 @@ func (ts *TupleStore) Path(id int32) PathInfo {
 func (ts *TupleStore) Tuples() []Tuple { return ts.tuples }
 
 // TupleComms returns a tuple's canonical community list (a view into
-// the community arena; do not mutate).
+// the community arena or the shared intern arena; do not mutate).
 func (ts *TupleStore) TupleComms(t *Tuple) bgp.Communities {
+	if ts.shared != nil {
+		return ts.shared.comms.view(t.comms.off, t.comms.n)
+	}
 	return ts.commArena[t.comms.off : t.comms.off+t.comms.n]
 }
 
@@ -325,6 +424,20 @@ func (ts *TupleStore) VPSet() []uint32 {
 
 // Communities returns the distinct communities across all tuples, sorted.
 func (ts *TupleStore) Communities() []bgp.Community {
+	if ts.shared != nil {
+		// The shared intern arena holds every list seen by ANY store on
+		// the same storeShared, so walk this store's tuples instead.
+		n := 0
+		for i := range ts.tuples {
+			n += int(ts.tuples[i].comms.n)
+		}
+		out := make([]bgp.Community, 0, n)
+		for i := range ts.tuples {
+			out = append(out, ts.TupleComms(&ts.tuples[i])...)
+		}
+		slices.Sort(out)
+		return slices.Compact(out)
+	}
 	// The community arena is append-only with no dead regions, so it is
 	// exactly the concatenation of every tuple's list.
 	out := make([]bgp.Community, len(ts.commArena))
@@ -339,8 +452,7 @@ func (ts *TupleStore) Communities() []bgp.Community {
 func (ts *TupleStore) AllPaths() [][]uint32 {
 	out := make([][]uint32, len(ts.paths))
 	for i := range ts.paths {
-		s := ts.paths[i].asns
-		out[i] = ts.asnArena[s.off : s.off+s.n]
+		out[i] = ts.pathASNs(&ts.paths[i])
 	}
 	return out
 }
@@ -359,7 +471,7 @@ func (ts *TupleStore) AnnotateOrgs(orgs OrgMapper) {
 	for i := range ts.paths {
 		p := &ts.paths[i]
 		off := uint32(len(ts.orgArena))
-		for _, asn := range ts.asnArena[p.asns.off : p.asns.off+p.asns.n] {
+		for _, asn := range ts.pathASNs(p) {
 			if org, ok := orgs.Org(asn); ok {
 				if !containsOrg(ts.orgArena[off:], org) {
 					ts.orgArena = append(ts.orgArena, org)

@@ -1,0 +1,370 @@
+// Frame/decode split: one file scanned by one framing goroutine feeding
+// decode workers, so a single large MRT file spreads across cores
+// instead of pinning one. Activated by ScanParallelContext when there
+// are more workers than files (or forced by Options.ForceFrameSplit).
+//
+// The framer runs the same fault-tolerant mrt.Reader the sequential
+// scanners use and copies record bodies into reusable FrameBatches; the
+// workers decode batches concurrently and feed views to the (shared,
+// concurrency-safe) store callbacks. Statistics stay exactly equal to a
+// sequential scan: the framer owns every framing counter (records,
+// resyncs, truncation, bytes) by construction, and the decode counters
+// the workers accumulate per batch are order-independent sums. The one
+// case that is genuinely order-dependent — lenient recovery from a
+// record that framed but failed to decode, where the sequential scanner
+// rejects the record's bytes back into the stream and rescans inside
+// them — triggers a full-file fallback instead: the split attempt's
+// statistics are discarded and the file is rescanned sequentially.
+// Re-feeding views already delivered is safe because every store
+// callback is idempotent (tuple dedup, sorted-set VP insertion,
+// large-community set), so the fallback keeps both the corpus and the
+// final LoadStats byte-for-byte identical to a sequential load.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpintent/internal/bgp"
+	"bgpintent/internal/mrt"
+	"bgpintent/internal/obs"
+)
+
+// Frame batches hand off at most this many records / body bytes; two
+// batches per worker circulate through the free list, so the framer
+// read-ahead is bounded (double buffering) and backpressure is the free
+// list running empty.
+const (
+	frameBatchRecords = 512
+	frameBatchBytes   = 1 << 20
+)
+
+// frameJob is one batch handed from the framer to a decode worker,
+// with the peer table in force when its records were framed (nil for
+// updates files) and the slot its outcome is reported through.
+type frameJob struct {
+	batch *mrt.FrameBatch
+	table *mrt.PeerIndexTable
+	res   *batchResult
+}
+
+// batchResult is one batch's decode outcome. The framer allocates it
+// and appends it to an ordered list before dispatch; the worker is the
+// only writer afterwards, and the join's wg.Wait publishes the writes.
+type batchResult struct {
+	stats mrt.Stats
+	err   error
+}
+
+// splitState is the shared control state of one split-file scan.
+type splitState struct {
+	failed   atomic.Bool // a worker hit a terminal error; stop dispatching
+	fallback atomic.Bool // lenient decode failure; rescan sequentially
+	done     <-chan struct{}
+}
+
+func (st *splitState) aborted() bool {
+	return st.failed.Load() || chClosed(st.done)
+}
+
+// scanFileSplit scans one file with a framer goroutine plus workers
+// decode goroutines. Statistics and error semantics match the
+// sequential Scan{RIBs,Updates}Context (see the package comment of this
+// file for the fallback that guarantees it).
+func scanFileSplit(ctx context.Context, f InputFile, opts Options, workers int, stats *Stats,
+	ribFn func(*mrt.RIBView) error, updFn func(*mrt.UpdateView) error) error {
+	rc, err := openTimed(f.Path, opts.Tracer)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+
+	fs := &mrt.Stats{}
+	tr := opts.Tracer
+	if tr.Active() {
+		tr.StageStartOnly(obs.StageDecode, f.Path)
+		start := time.Now()
+		defer func() {
+			tr.EmitSpan(obs.StageDecode, f.Path, start, time.Since(start), func(s *obs.Span) {
+				s.Records = int64(fs.Records)
+				s.Bytes = fs.BytesRead
+			})
+			tr.AddBytes(fs.BytesRead)
+		}()
+	}
+
+	so := scanOptions(f.Path, opts, fs)
+	r := so.Reader(rc)
+	st := &splitState{done: ctx.Done()}
+
+	nBatches := 2 * workers
+	free := make(chan *mrt.FrameBatch, nBatches)
+	for i := 0; i < nBatches; i++ {
+		free <- &mrt.FrameBatch{}
+	}
+	jobs := make(chan frameJob)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			if f.Updates {
+				decodeUpdateBatches(jobs, free, st, opts, tr, updFn)
+			} else {
+				decodeRIBBatches(jobs, free, st, opts, tr, ribFn)
+			}
+		}()
+	}
+
+	// RIB files interleave PEER_INDEX_TABLE records with the RIB records
+	// that reference them, so table records are a framing barrier: the
+	// framer parses them in stream order and stamps each batch with the
+	// table in force when it was framed.
+	var barrier func(typ, subtype uint16) bool
+	if !f.Updates {
+		barrier = func(typ, subtype uint16) bool {
+			return typ == mrt.TypeTableDumpV2 && subtype == mrt.SubtypePeerIndexTable
+		}
+	}
+
+	var (
+		table    *mrt.PeerIndexTable
+		ordered  []*batchResult
+		framerFn error // framer-side terminal error (budget, reader, strict table)
+		canceled bool
+	)
+frame:
+	for {
+		if st.failed.Load() {
+			break
+		}
+		if chClosed(st.done) {
+			canceled = true
+			break
+		}
+		batch := <-free
+		var frameStart time.Time
+		if tr.Active() {
+			frameStart = time.Now()
+		}
+		brec, err := r.NextBatch(batch, frameBatchRecords, frameBatchBytes, barrier)
+		if tr.Active() {
+			tr.AddStageTime(obs.StageFrame, time.Since(frameStart), int64(batch.Len()))
+		}
+		if err != nil {
+			free <- batch
+			if err == io.EOF {
+				break
+			}
+			framerFn = err
+			break
+		}
+		if batch.Len() > 0 {
+			res := &batchResult{}
+			ordered = append(ordered, res)
+			jobs <- frameJob{batch: batch, table: table, res: res}
+		} else {
+			free <- batch
+		}
+		if brec != nil {
+			// Barrier record: a peer index table, governing every record
+			// after it. The batch just dispatched was framed before it.
+			t, perr := mrt.ParsePeerIndexTable(brec.Body)
+			if perr != nil {
+				if opts.Strict {
+					framerFn = fmt.Errorf("mrt: record at offset %d: %w", brec.Offset, perr)
+					break
+				}
+				fs.NoteSkip("peer-index-table")
+				st.fallback.Store(true)
+				break
+			}
+			fs.NoteDecoded()
+			table = t
+		}
+		if so.Check != nil {
+			// Mid-stream budget check over the framing counters; decode
+			// skips are re-checked exactly at finish (and a lenient decode
+			// failure falls back to the sequential scan, where the budget
+			// applies per record).
+			if cerr := so.Check(fs); cerr != nil {
+				framerFn = cerr
+				break frame
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if canceled || chClosed(st.done) {
+		stats.add(f.Path, fs)
+		return ctx.Err()
+	}
+	if st.fallback.Load() {
+		// Discard the split attempt entirely and rescan sequentially;
+		// idempotent callbacks make the re-feed invisible (see the file
+		// comment).
+		if f.Updates {
+			return ScanUpdatesContext(ctx, f.Path, opts, stats, updFn)
+		}
+		return ScanRIBsContext(ctx, f.Path, opts, stats, ribFn)
+	}
+	// Merge batch outcomes in frame order: the earliest batch error wins,
+	// with the stats of everything before it, matching the point a
+	// sequential scan would have stopped at.
+	var werr error
+	for _, res := range ordered {
+		fs.Merge(&res.stats)
+		if res.err != nil {
+			werr = res.err
+			break
+		}
+	}
+	if werr == nil {
+		werr = framerFn
+	}
+	if werr != nil {
+		stats.add(f.Path, fs)
+		if _, ok := werr.(*BudgetError); ok {
+			return werr
+		}
+		return fmt.Errorf("ingest: %s: %w", f.Path, werr)
+	}
+	tr.FileDone()
+	return finish(f.Path, opts, stats, fs)
+}
+
+// decodeRIBBatches is one worker's loop over a RIB file's frame jobs.
+// All reusable decode state (record view, RIB, RIBView) is worker-local;
+// per-batch counters land in the job's result slot.
+func decodeRIBBatches(jobs <-chan frameJob, free chan<- *mrt.FrameBatch, st *splitState,
+	opts Options, tr *obs.Tracer, fn func(*mrt.RIBView) error) {
+	var (
+		rec  mrt.Record
+		rib  mrt.RIB
+		view mrt.RIBView
+	)
+	for job := range jobs {
+		if st.aborted() {
+			free <- job.batch
+			continue
+		}
+		n := job.batch.Len()
+		for i := 0; i < n && !st.aborted(); i++ {
+			job.batch.Rec(i, &rec)
+			if rec.Type != mrt.TypeTableDumpV2 {
+				job.res.stats.NoteUnknown(rec.Type, rec.Subtype)
+				continue
+			}
+			switch rec.Subtype {
+			case mrt.SubtypeRIBIPv4Unicast, mrt.SubtypeRIBIPv6Unicast:
+				if perr := mrt.ParseRIBInto(rec.Subtype, rec.Body, &rib); perr != nil {
+					if opts.Strict {
+						job.res.err = fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
+						st.failed.Store(true)
+					} else {
+						// The sequential scanner would Reject the record's
+						// bytes and rescan inside them; that recovery is
+						// inherently stream-ordered, so redo the whole file
+						// sequentially instead.
+						job.res.stats.NoteSkip("rib")
+						st.fallback.Store(true)
+						st.failed.Store(true)
+					}
+					break
+				}
+				job.res.stats.NoteDecoded()
+				for _, e := range rib.Entries {
+					if job.table == nil || int(e.PeerIndex) >= len(job.table.Peers) {
+						if opts.Strict {
+							job.res.err = fmt.Errorf("mrt: RIB record at offset %d: entry references peer index %d outside table", rec.Offset, e.PeerIndex)
+							st.failed.Store(true)
+							break
+						}
+						job.res.stats.NoteSkip("peer-index-out-of-range")
+						continue
+					}
+					view = mrt.RIBView{Peer: job.table.Peers[e.PeerIndex], Prefix: rib.Prefix, Entry: e}
+					if err := fn(&view); err != nil {
+						job.res.err = err
+						st.failed.Store(true)
+						break
+					}
+				}
+			default:
+				// Peer index tables never reach workers (framing barrier);
+				// other TABLE_DUMP_V2 subtypes are skipped like the
+				// sequential scanner skips them.
+				job.res.stats.NoteUnknown(rec.Type, rec.Subtype)
+			}
+		}
+		tr.AddRecords(int64(n))
+		free <- job.batch
+	}
+}
+
+// decodeUpdateBatches is one worker's loop over an updates file's frame
+// jobs.
+func decodeUpdateBatches(jobs <-chan frameJob, free chan<- *mrt.FrameBatch, st *splitState,
+	opts Options, tr *obs.Tracer, fn func(*mrt.UpdateView) error) {
+	var (
+		rec  mrt.Record
+		upd  bgp.UpdateMessage
+		view mrt.UpdateView
+	)
+	for job := range jobs {
+		if st.aborted() {
+			free <- job.batch
+			continue
+		}
+		n := job.batch.Len()
+		for i := 0; i < n && !st.aborted(); i++ {
+			job.batch.Rec(i, &rec)
+			ok, perr := mrt.DecodeUpdateRecord(&rec, &upd, &view, &job.res.stats)
+			if perr != nil {
+				if opts.Strict {
+					job.res.err = fmt.Errorf("mrt: record at offset %d: %w", rec.Offset, perr)
+					st.failed.Store(true)
+				} else {
+					job.res.stats.NoteSkip("bgp4mp")
+					st.fallback.Store(true)
+					st.failed.Store(true)
+				}
+				break
+			}
+			if !ok {
+				continue
+			}
+			job.res.stats.NoteDecoded()
+			if err := fn(&view); err != nil {
+				job.res.err = err
+				st.failed.Store(true)
+				break
+			}
+		}
+		tr.AddRecords(int64(n))
+		free <- job.batch
+	}
+}
+
+// scanSplitFiles runs the frame/decode split over every input file, one
+// file at a time in input order — cross-file parallelism would not add
+// throughput (the workers already cover the cores) and processing files
+// in order keeps statistics assembly and earliest-error semantics
+// identical to the sequential path for free.
+func scanSplitFiles(ctx context.Context, files []InputFile, opts Options, workers int, stats *Stats,
+	ribFn func(*mrt.RIBView) error, updFn func(*mrt.UpdateView) error) error {
+	for _, f := range files {
+		if chClosed(ctx.Done()) {
+			return ctx.Err()
+		}
+		if err := scanFileSplit(ctx, f, opts, workers, stats, ribFn, updFn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

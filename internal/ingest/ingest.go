@@ -43,6 +43,13 @@ type Options struct {
 	// Tracer receives per-file open/decode spans and live
 	// record/byte/file counters; nil disables ingestion telemetry.
 	Tracer *obs.Tracer
+	// ForceFrameSplit makes ScanParallelContext use the frame/decode
+	// split pipeline (see framesplit.go) even when there are enough
+	// input files to keep every worker on its own file. Normally the
+	// split activates only when workers outnumber files; forcing it is
+	// for tests and experiments. Output and statistics are identical
+	// either way.
+	ForceFrameSplit bool
 }
 
 func (o Options) limit() float64 {

@@ -46,6 +46,12 @@ func ScanParallelContext(ctx context.Context, files []InputFile, opts Options, w
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// With more workers than files (or when forced), file-level
+	// parallelism cannot use the machine: split each file across the
+	// workers with the frame/decode pipeline instead.
+	if workers > 1 && len(files) > 0 && (opts.ForceFrameSplit || workers > len(files)) {
+		return scanSplitFiles(ctx, files, opts, workers, stats, ribFn, updFn)
+	}
 	if workers > len(files) {
 		workers = len(files)
 	}

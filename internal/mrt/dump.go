@@ -68,6 +68,13 @@ type ScanOptions struct {
 	Check func(*Stats) error
 }
 
+// Reader returns the record reader a scanner with these options would
+// use: strict or lenient per o.Lenient, framing stats wired to o.Stats,
+// record reuse enabled. Decode loops built outside this package (the
+// frame/decode split pipeline in internal/ingest) use it to frame with
+// exactly the scanners' fault tolerance.
+func (o *ScanOptions) Reader(r io.Reader) *Reader { return o.reader(r) }
+
 func (o *ScanOptions) reader(r io.Reader) *Reader {
 	var rd *Reader
 	if o.Lenient {
@@ -331,15 +338,32 @@ func (s *UpdateScanner) next() (*UpdateView, error) {
 // error means the record is not a decodable BGP UPDATE (foreign type,
 // keepalive...) and carries no corruption signal.
 func (s *UpdateScanner) decode(rec *Record) (*UpdateView, error) {
+	ok, err := DecodeUpdateRecord(rec, &s.upd, &s.view, s.opts.Stats)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &s.view, nil
+}
+
+// DecodeUpdateRecord decodes one BGP4MP record into caller-owned
+// storage: upd receives the UPDATE message (its internal buffers are
+// reused across calls) and view is filled pointing at it. A false ok
+// with a nil error means the record is not a decodable BGP UPDATE
+// (foreign type, unknown subtype — noted against stats — or a
+// keepalive/open/notification) and carries no corruption signal. The
+// caller accounts decodes and skips; only unknown-type notes happen
+// here, mirroring UpdateScanner. This is the per-record decode step of
+// the frame/decode split pipeline; stats may be nil.
+func DecodeUpdateRecord(rec *Record, upd *bgp.UpdateMessage, view *UpdateView, stats *Stats) (ok bool, err error) {
 	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
-		s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
-		return nil, nil
+		stats.noteUnknown(rec.Type, rec.Subtype)
+		return false, nil
 	}
 	body := rec.Body
 	if rec.Type == TypeBGP4MPET {
 		// Extended timestamp: 4 extra microsecond octets first.
 		if len(body) < 4 {
-			return nil, fmt.Errorf("mrt: BGP4MP_ET: short body")
+			return false, fmt.Errorf("mrt: BGP4MP_ET: short body")
 		}
 		body = body[4:]
 	}
@@ -355,23 +379,23 @@ func (s *UpdateScanner) decode(rec *Record) (*UpdateView, error) {
 		m, perr = ParseBGP4MPLegacy(body)
 		asn = 2
 	default:
-		s.opts.Stats.noteUnknown(rec.Type, rec.Subtype)
-		return nil, nil
+		stats.noteUnknown(rec.Type, rec.Subtype)
+		return false, nil
 	}
 	if perr != nil {
-		return nil, perr
+		return false, perr
 	}
 	if len(m.Message) >= 19 && m.Message[18] != bgp.MsgTypeUpdate {
-		return nil, nil // keepalive/open/notification
+		return false, nil // keepalive/open/notification
 	}
-	if err := bgp.DecodeUpdateSizedInto(m.Message, asn, &s.upd); err != nil {
-		return nil, fmt.Errorf("mrt: BGP4MP update: %w", err)
+	if err := bgp.DecodeUpdateSizedInto(m.Message, asn, upd); err != nil {
+		return false, fmt.Errorf("mrt: BGP4MP update: %w", err)
 	}
-	s.view = UpdateView{
+	*view = UpdateView{
 		Timestamp: rec.Timestamp,
 		PeerAS:    m.PeerAS,
 		PeerAddr:  m.PeerAddr,
-		Update:    &s.upd,
+		Update:    upd,
 	}
-	return &s.view, nil
+	return true, nil
 }

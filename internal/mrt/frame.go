@@ -1,0 +1,89 @@
+package mrt
+
+// FramedRecord is one record's header plus the location of its body
+// inside the owning FrameBatch's buffer. It carries no pointers, so a
+// batch of frames is two flat allocations however many records it
+// holds.
+type FramedRecord struct {
+	Offset    int64
+	Timestamp uint32
+	Type      uint16
+	Subtype   uint16
+	bodyOff   int
+	bodyLen   int
+}
+
+// FrameBatch is a run of consecutive framed-but-undecoded records with
+// their bodies packed into one buffer. The frame/decode split pipeline
+// fills batches on one goroutine (NextBatch) and decodes them on
+// others (Rec); batches are reused through a free list, so steady-state
+// framing allocates nothing.
+type FrameBatch struct {
+	recs []FramedRecord
+	buf  []byte
+}
+
+// Len returns the number of records in the batch.
+func (b *FrameBatch) Len() int { return len(b.recs) }
+
+// Bytes returns the total body bytes buffered in the batch.
+func (b *FrameBatch) Bytes() int { return len(b.buf) }
+
+// Reset empties the batch, keeping its storage for reuse.
+func (b *FrameBatch) Reset() {
+	b.recs = b.recs[:0]
+	b.buf = b.buf[:0]
+}
+
+// Rec materializes record i into rec. The body aliases the batch
+// buffer: it is valid until the batch is Reset.
+func (b *FrameBatch) Rec(i int, rec *Record) {
+	f := &b.recs[i]
+	rec.Offset = f.Offset
+	rec.Timestamp = f.Timestamp
+	rec.Type = f.Type
+	rec.Subtype = f.Subtype
+	rec.Body = b.buf[f.bodyOff : f.bodyOff+f.bodyLen]
+}
+
+// NextBatch frames records into b (after resetting it) until maxRecs
+// records or maxBytes body bytes are buffered, the stream ends, or a
+// record matching barrier arrives. A barrier record is NOT added to the
+// batch: it is returned instead, so the caller can process it in frame
+// order before handing the batch off (the record aliases the reader's
+// reusable storage and must be fully consumed before the next read).
+// barrier may be nil.
+//
+// A nil barrier record and nil error mean a batch ended by size or by a
+// non-empty stream tail; io.EOF is returned only when the stream ended
+// with nothing framed. An error with records already framed is held
+// back — the reader's errors are sticky, so the next call redelivers
+// it against an empty batch.
+func (r *Reader) NextBatch(b *FrameBatch, maxRecs, maxBytes int, barrier func(typ, subtype uint16) bool) (*Record, error) {
+	b.Reset()
+	for b.Len() < maxRecs && b.Bytes() < maxBytes {
+		rec, err := r.Next()
+		if err != nil {
+			if b.Len() > 0 {
+				// Deliver what we framed; a sticky non-EOF error comes
+				// back on the next call.
+				return nil, nil
+			}
+			return nil, err
+		}
+		if barrier != nil && barrier(rec.Type, rec.Subtype) {
+			return rec, nil
+		}
+		off := len(b.buf)
+		b.buf = append(b.buf, rec.Body...)
+		b.recs = append(b.recs, FramedRecord{
+			Offset:    rec.Offset,
+			Timestamp: rec.Timestamp,
+			Type:      rec.Type,
+			Subtype:   rec.Subtype,
+			bodyOff:   off,
+			bodyLen:   len(rec.Body),
+		})
+	}
+	return nil, nil
+}

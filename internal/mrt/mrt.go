@@ -114,6 +114,19 @@ func (s *Stats) noteUnknown(typ, subtype uint16) {
 	s.UnknownTypes[fmt.Sprintf("%d/%d", typ, subtype)]++
 }
 
+// NoteDecoded counts one cleanly decoded record. Exposed for decode
+// loops built outside this package (the frame/decode split pipeline in
+// internal/ingest); in-package scanners use the unexported form.
+func (s *Stats) NoteDecoded() { s.noteDecoded() }
+
+// NoteSkip counts one record (or RIB entry) dropped as undecodable,
+// under the given reason. See NoteDecoded.
+func (s *Stats) NoteSkip(reason string) { s.noteSkip(reason) }
+
+// NoteUnknown counts one record of an undecoded type/subtype. See
+// NoteDecoded.
+func (s *Stats) NoteUnknown(typ, subtype uint16) { s.noteUnknown(typ, subtype) }
+
 // Attempts returns the number of record-level framing and decode
 // attempts the error rate is measured over.
 func (s *Stats) Attempts() int {

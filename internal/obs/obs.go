@@ -31,11 +31,21 @@ const (
 	// span's wall time includes the per-record store-add callbacks; the
 	// aggregate StageStoreAdd span reports that inner share.
 	StageDecode Stage = "decode"
+	// StageFrame is the aggregate time the frame/decode split pipeline
+	// spends framing records into batches (a share of StageDecode's wall
+	// time), summed across input files. Absent when files are scanned
+	// sequentially, where framing and decode are one loop.
+	StageFrame Stage = "frame"
 	// StageStoreAdd is the aggregate time spent inserting decoded views
 	// into the (sharded) tuple store, summed across all decode workers.
 	StageStoreAdd Stage = "store-add"
-	// StageShardMerge is collapsing ingestion shards into the canonical
-	// tuple store.
+	// StageStitch is collapsing ingestion shards into the canonical
+	// tuple store: index concatenation and ordering only, since shard
+	// payloads live in storage shared with the stitched store.
+	StageStitch Stage = "stitch"
+	// StageShardMerge is the pre-stitch name of that phase, when it
+	// copied every arena through one goroutine. No longer emitted; kept
+	// so trace consumers compiled against it keep building.
 	StageShardMerge Stage = "shard-merge"
 	// StageObserve is the CSR community→path index build plus on/off-path
 	// counting.

@@ -117,7 +117,7 @@ func TestObservedLoadAndClassifyIdentical(t *testing.T) {
 			seen[s.Stage] = true
 		}
 		for _, stage := range []Stage{
-			StageOpen, StageDecode, StageStoreAdd, StageShardMerge,
+			StageOpen, StageDecode, StageStoreAdd, StageStitch,
 			StageObserve, StageCluster, StageRatio, StageClassify,
 		} {
 			if !seen[stage] {

@@ -51,7 +51,7 @@ with open(sys.argv[1]) as f:
             stages.add(ev["stage"])
         if ev["event"] == "progress" and ev["final"]:
             final = True
-missing = {"open", "decode", "store-add", "shard-merge",
+missing = {"open", "decode", "store-add", "stitch",
            "observe", "cluster", "ratio", "classify", "snapshot-write"} - stages
 if missing:
     sys.exit(f"no stage_end for: {sorted(missing)}")
