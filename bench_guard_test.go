@@ -8,6 +8,10 @@ package bgpintent
 //     (BGPINTENT_BENCH_DAYS) doesn't skew the comparison — fails on a
 //     >20% regression, which would mean the columnar store's
 //     allocation-free hot path has been eroded;
+//   - load_mrt allocs per tuple on a mixed classic+large (std/lrg
+//     matrix) corpus vs the classic-only number from the same run —
+//     fails above 1.5×, which would mean keying large communities into
+//     the store stopped being allocation-free;
 //   - classify speedup at workers=4 vs workers=1 — fails below 1.0×,
 //     which would mean parallel classification went back to being
 //     slower than sequential (the pre-CSR pathology was 0.72×);
@@ -38,6 +42,15 @@ const (
 	// noise out of the ratio; a genuine regression to the old
 	// merge-heavy Observe shows up as ~0.7, far below the floor.
 	guardMinClassifySpeedup = 1.0
+	// guardMixedAllocFactor bounds how much a mixed classic+large corpus
+	// may cost per tuple relative to the classic-only corpus measured in
+	// the same run. The std/lrg matrix roughly doubles the community
+	// payload per view, but large sets deduplicate through the shared
+	// intern table, so the steady-state per-tuple cost is nearly flat
+	// (measured ~1.01x); 1.5x is the tripwire for the keyed-large path
+	// falling off the allocation-free hot path (e.g. per-view boxing of
+	// large community slices or a map allocation per tuple).
+	guardMixedAllocFactor = 1.5
 	// guardMinLoadSpeedup is the floor for load_mrt's workers=4 speedup
 	// over sequential, checked only with >=4 schedulable CPUs. The
 	// merge-free store plus the frame/decode split should deliver well
@@ -69,7 +82,7 @@ func TestBenchGuard(t *testing.T) {
 			"allocation counts", baseline.GoMaxProcs)
 	}
 
-	ribs, err := writeBenchMRT(benchDays())
+	ribs, err := writeBenchMRT(benchDays(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,6 +111,41 @@ func TestBenchGuard(t *testing.T) {
 	if allocsPerTuple > limit {
 		t.Errorf("load_mrt allocations regressed: %.3f allocs/tuple exceeds %.3f (baseline %.3f +%d%%)",
 			allocsPerTuple, limit, baseAllocsPerTuple, int(guardLoadAllocHeadroom*100)-100)
+	}
+
+	// Mixed-community load tripwire: the same corpus with the std/lrg
+	// matrix enabled, measured against the classic-only number from this
+	// very run (self-relative, so baseline drift and host noise cancel).
+	// Large communities are full inference subjects — keyed into the
+	// tuple store through the shared intern table — and that keyed path
+	// must stay within a constant factor of the classic hot path.
+	mixedRibs, err := writeBenchMRT(benchDays(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedWarm, _, err := LoadMRTCorpusOptions(mixedRibs, nil, "", LoadOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixedWarm.LargeCommunities() == 0 {
+		t.Fatal("matrix bench corpus observed no large communities; mirroring inert")
+	}
+	mixedRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := LoadMRTCorpusOptions(mixedRibs, nil, "", LoadOptions{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mixedAllocsPerTuple := float64(mixedRes.AllocsPerOp()) / float64(mixedWarm.Tuples())
+	mixedLimit := allocsPerTuple * guardMixedAllocFactor
+	t.Logf("load_mrt mixed allocs/tuple: got %.3f, classic %.3f, limit %.3f (%d large communities)",
+		mixedAllocsPerTuple, allocsPerTuple, mixedLimit, mixedWarm.LargeCommunities())
+	if mixedAllocsPerTuple > mixedLimit {
+		t.Errorf("mixed-community load regressed: %.3f allocs/tuple exceeds %.1fx the classic-only %.3f — "+
+			"the keyed large-community path has fallen off the allocation-free hot path",
+			mixedAllocsPerTuple, guardMixedAllocFactor, allocsPerTuple)
 	}
 
 	// Parallel scaling: best-of-3 at each worker count. On a

@@ -126,7 +126,7 @@ func TestEmitPipelineBench(t *testing.T) {
 			runtime.GOMAXPROCS(0))
 	}
 	days := benchDays()
-	ribs, err := writeBenchMRT(days)
+	ribs, err := writeBenchMRT(days, false)
 	if err != nil {
 		t.Fatal(err)
 	}

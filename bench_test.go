@@ -261,9 +261,13 @@ var (
 // per-collector, per-day MRT RIB files under a temp dir and returns
 // their paths. A fresh simulator (Days=0) is used so day replay starts
 // from a clean state regardless of what benchCorpus already simulated.
-func writeBenchMRT(days int) ([]string, error) {
+// With matrix set, the simulator mirrors every origin-attached
+// community as a large community (the std/lrg matrix), roughly
+// doubling the community payload per view.
+func writeBenchMRT(days int, matrix bool) ([]string, error) {
 	cfg := corpus.DefaultConfig()
 	cfg.Days = 0
+	cfg.LargeMatrix = matrix
 	c, err := corpus.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -311,7 +315,7 @@ func benchDays() int {
 func benchMRTFiles(b *testing.B) []string {
 	b.Helper()
 	benchMRTOnce.Do(func() {
-		benchMRTRibs, benchMRTError = writeBenchMRT(benchDays())
+		benchMRTRibs, benchMRTError = writeBenchMRT(benchDays(), false)
 	})
 	if benchMRTError != nil {
 		b.Fatal(benchMRTError)

@@ -119,18 +119,116 @@ func fromDictCategory(c dict.Category) Category {
 }
 
 // Community is a regular 32-bit BGP community α:β.
+//
+// Deprecated: Community predates large-community support and can only
+// name classic communities. New code should use CommunityKey, which
+// covers both classic α:β and RFC 8092 α:fn:value keys under one
+// identity; existing callers keep compiling unchanged.
 type Community struct {
 	ASN   uint16 // α: the AS defining the meaning
 	Value uint16 // β: the operator-assigned value
 }
 
 // Comm builds a Community.
+//
+// Deprecated: use ClassicKey, which returns the generalized
+// CommunityKey accepted by the kind-aware query APIs.
 func Comm(asn, value uint16) Community { return Community{ASN: asn, Value: value} }
 
 // String renders α:β.
 func (c Community) String() string { return fmt.Sprintf("%d:%d", c.ASN, c.Value) }
 
 func (c Community) wire() bgp.Community { return bgp.NewCommunity(c.ASN, c.Value) }
+
+// Key converts the classic community to its generalized key.
+func (c Community) Key() CommunityKey { return ClassicKey(c.ASN, c.Value) }
+
+// CommunityKind says which community family a CommunityKey names.
+type CommunityKind int8
+
+const (
+	// KindClassic is a regular RFC 1997 community α:β.
+	KindClassic CommunityKind = iota
+	// KindLarge is an RFC 8092 large community α:fn:value.
+	KindLarge
+)
+
+// String returns "classic" or "large".
+func (k CommunityKind) String() string {
+	if k == KindLarge {
+		return "large"
+	}
+	return "classic"
+}
+
+// CommunityKey is the generalized community identity the inference
+// APIs accept: a classic α:β (16-bit halves) or a large α:fn:value
+// (three 32-bit words) under one comparable value type. The zero value
+// is the classic community 0:0.
+type CommunityKey struct {
+	kind CommunityKind
+	asn  uint32 // α (classic) / GlobalAdmin (large)
+	fn   uint32 // LocalData1; always 0 for classic keys
+	val  uint32 // β (classic) / LocalData2 (large)
+}
+
+// ClassicKey builds the key of a regular community α:β.
+func ClassicKey(asn, value uint16) CommunityKey {
+	return CommunityKey{kind: KindClassic, asn: uint32(asn), val: uint32(value)}
+}
+
+// LargeKey builds the key of a large community α:fn:value.
+func LargeKey(asn, fn, value uint32) CommunityKey {
+	return CommunityKey{kind: KindLarge, asn: asn, fn: fn, val: value}
+}
+
+// ParseCommunityKey parses "α:β" (classic) or "α:fn:value" (large);
+// String is its exact inverse.
+func ParseCommunityKey(s string) (CommunityKey, error) {
+	comms, larges, err := bgp.ParseCommunities(s)
+	if err != nil {
+		return CommunityKey{}, err
+	}
+	switch {
+	case len(comms) == 1 && len(larges) == 0:
+		return ClassicKey(comms[0].ASN(), comms[0].Value()), nil
+	case len(comms) == 0 && len(larges) == 1:
+		lc := larges[0]
+		return LargeKey(lc.GlobalAdmin, lc.LocalData1, lc.LocalData2), nil
+	default:
+		return CommunityKey{}, fmt.Errorf("bgpintent: %q is not a single community", s)
+	}
+}
+
+// Kind reports whether the key names a classic or a large community.
+func (k CommunityKey) Kind() CommunityKind { return k.kind }
+
+// ASN is α: the AS defining the community's meaning (the global
+// administrator for large keys).
+func (k CommunityKey) ASN() uint32 { return k.asn }
+
+// Fn is the large key's function selector (LocalData1); 0 for classic
+// keys.
+func (k CommunityKey) Fn() uint32 { return k.fn }
+
+// Value is the operator-assigned value: β for classic keys, LocalData2
+// for large ones.
+func (k CommunityKey) Value() uint32 { return k.val }
+
+// String renders "α:β" or "α:fn:value"; ParseCommunityKey is its
+// exact inverse.
+func (k CommunityKey) String() string {
+	if k.kind == KindLarge {
+		return fmt.Sprintf("%d:%d:%d", k.asn, k.fn, k.val)
+	}
+	return fmt.Sprintf("%d:%d", k.asn, k.val)
+}
+
+// wireLarge converts a large key to its wire form; only valid when
+// Kind() == KindLarge.
+func (k CommunityKey) wireLarge() bgp.LargeCommunity {
+	return bgp.LargeCommunity{GlobalAdmin: k.asn, LocalData1: k.fn, LocalData2: k.val}
+}
 
 // Params are the classifier parameters; the defaults are the paper's
 // operating point.
@@ -183,6 +281,15 @@ type CorpusOptions struct {
 	// Small selects the fast test-sized corpus instead of the default
 	// benchmark scale.
 	Small bool
+	// DisableLargeCommunities produces a classic-only corpus: the
+	// simulator skips large-community (RFC 8092) mirroring entirely.
+	// Classic routes are unchanged either way.
+	DisableLargeCommunities bool
+	// LargeMatrix makes large-community mirroring deterministic — every
+	// eligible plan community an origin attaches gets its large twin
+	// (the arouteserver-style std/lrg announce/suppress matrix) —
+	// instead of the default probabilistic sampling.
+	LargeMatrix bool
 }
 
 // Corpus is a loaded BGP dataset ready for classification: unique
@@ -209,6 +316,8 @@ func NewSyntheticCorpus(opts CorpusOptions) (*Corpus, error) {
 	if opts.Days != 0 {
 		cfg.Days = opts.Days
 	}
+	cfg.NoLargeComms = opts.DisableLargeCommunities
+	cfg.LargeMatrix = opts.LargeMatrix
 	c, err := corpus.Build(cfg)
 	if err != nil {
 		return nil, err
@@ -366,16 +475,14 @@ func LoadMRT(ctx context.Context, src Sources, opts LoadOptions) (*Corpus, LoadS
 	// count.
 	sts := core.NewShardedTupleStore(64)
 	ribFn := func(v *mrt.RIBView) error {
-		sts.AddViewASPath(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities)
-		sts.NoteLarge(v.Entry.Attrs.LargeCommunities)
+		sts.AddViewASPathLarge(v.Peer.ASN, v.Entry.Attrs.ASPath, v.Entry.Attrs.Communities, v.Entry.Attrs.LargeCommunities)
 		return nil
 	}
 	updFn := func(v *mrt.UpdateView) error {
 		if len(v.Update.NLRI) == 0 {
 			return nil // pure withdrawals carry no tuple
 		}
-		sts.AddViewASPath(v.PeerAS, v.Update.Attrs.ASPath, v.Update.Attrs.Communities)
-		sts.NoteLarge(v.Update.Attrs.LargeCommunities)
+		sts.AddViewASPathLarge(v.PeerAS, v.Update.Attrs.ASPath, v.Update.Attrs.Communities, v.Update.Attrs.LargeCommunities)
 		return nil
 	}
 	if tr.Active() {
@@ -436,8 +543,9 @@ func (c *Corpus) Tuples() int { return c.store.Len() }
 func (c *Corpus) Paths() int { return c.store.PathCount() }
 
 // LargeCommunities returns the number of distinct large (96-bit)
-// communities observed. The pipeline counts them but, like the paper,
-// classifies only regular communities.
+// communities observed. Large communities are full inference subjects:
+// they are keyed into tuples alongside regular communities and
+// clustered per (administrator, function) group by Classify.
 func (c *Corpus) LargeCommunities() int { return c.store.LargeCommunityCount() }
 
 // Communities returns the distinct observed communities.
@@ -679,10 +787,26 @@ func (r *Result) ClustersFor(asn uint16) []Cluster {
 }
 
 // WriteTSV emits the inferences as "community<TAB>category" lines, the
-// shape of the paper's released inference dataset.
+// shape of the paper's released inference dataset. When the result
+// covers large communities every line gains a third "kind" column
+// (classic|large) and the large inferences follow the classic ones;
+// classic-only results keep the two-column shape byte for byte.
 func (r *Result) WriteTSV(w io.Writer) error {
+	if r.src.LargeObserved() == 0 {
+		for _, lc := range r.Labeled() {
+			if _, err := fmt.Fprintf(w, "%s\t%s\n", lc.Community, lc.Category); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, lc := range r.Labeled() {
-		if _, err := fmt.Fprintf(w, "%s\t%s\n", lc.Community, lc.Category); err != nil {
+		if _, err := fmt.Fprintf(w, "%s\t%s\tclassic\n", lc.Community, lc.Category); err != nil {
+			return err
+		}
+	}
+	for _, lk := range r.LabeledLarge() {
+		if _, err := fmt.Fprintf(w, "%s\t%s\tlarge\n", lk.Key, lk.Category); err != nil {
 			return err
 		}
 	}
@@ -723,6 +847,177 @@ func (r *Result) Lookup(c Community) Lookup {
 		cl := clusterFromSummary(v.Cluster)
 		out.Cluster = &cl
 	}
+	return out
+}
+
+// LargeCluster is one inferred large-community cluster: the contiguous
+// LocalData2 range one (administrator, function) pair devotes to a
+// single purpose, with the evidence behind its label.
+type LargeCluster struct {
+	ASN      uint32 // global administrator (α)
+	Fn       uint32 // function selector (LocalData1)
+	Lo, Hi   uint32 // LocalData2 bounds
+	Category Category
+	Size     int // observed member communities
+	// OnPath/OffPath are the summed unique-path counts of the members.
+	OnPath, OffPath int
+	// PureOnPath/PureOffPath mark clusters never observed off-path /
+	// on-path; Ratio is the decision ratio of mixed clusters.
+	PureOnPath  bool
+	PureOffPath bool
+	Ratio       float64
+}
+
+func largeClusterFromSummary(cs core.LargeClusterSummary) LargeCluster {
+	return LargeCluster{
+		ASN:         cs.Alpha,
+		Fn:          cs.Fn,
+		Lo:          cs.Lo,
+		Hi:          cs.Hi,
+		Category:    fromDictCategory(cs.Label),
+		Size:        cs.Size,
+		OnPath:      int(cs.OnPath),
+		OffPath:     int(cs.OffPath),
+		PureOnPath:  cs.PureOnPath,
+		PureOffPath: cs.PureOffPath,
+		Ratio:       cs.Ratio,
+	}
+}
+
+// KeyLookup is the kind-aware counterpart of Lookup: the full verdict
+// for a classic or large community named by its CommunityKey.
+type KeyLookup struct {
+	Key      CommunityKey
+	Observed bool
+	Category Category
+	// OnPath/OffPath count the unique AS paths the community was
+	// observed on with/without its administrator (or a sibling) in the
+	// path.
+	OnPath, OffPath int
+	// Reason is empty for classified communities.
+	Reason ExcludeReason
+	// Cluster is the deciding classic cluster; nil for large keys and
+	// for excluded/unobserved communities.
+	Cluster *Cluster
+	// LargeCluster is the deciding large cluster; nil for classic keys
+	// and for excluded/unobserved communities.
+	LargeCluster *LargeCluster
+}
+
+// LookupKey explains the verdict for a community of either kind.
+func (r *Result) LookupKey(k CommunityKey) KeyLookup {
+	if k.Kind() == KindLarge {
+		v := r.src.VerdictLarge(k.wireLarge())
+		out := KeyLookup{
+			Key:      k,
+			Observed: v.Observed,
+			Category: fromDictCategory(v.Category),
+			OnPath:   v.Stats.OnPath,
+			OffPath:  v.Stats.OffPath,
+		}
+		if v.Reason != core.ExcludeNone {
+			out.Reason = ExcludeReason(v.Reason.String())
+		}
+		if v.HasCluster {
+			cl := largeClusterFromSummary(v.Cluster)
+			out.LargeCluster = &cl
+		}
+		return out
+	}
+	l := r.Lookup(Community{ASN: uint16(k.asn), Value: uint16(k.val)})
+	return KeyLookup{
+		Key:      k,
+		Observed: l.Observed,
+		Category: l.Category,
+		OnPath:   l.OnPath,
+		OffPath:  l.OffPath,
+		Reason:   l.Reason,
+		Cluster:  l.Cluster,
+	}
+}
+
+// CategoryKey returns the inferred label for a community of either
+// kind (CatUnknown when excluded or unobserved).
+func (r *Result) CategoryKey(k CommunityKey) Category {
+	if k.Kind() == KindLarge {
+		v := r.src.VerdictLarge(k.wireLarge())
+		if !v.HasCluster {
+			return fromDictCategory(dict.CatUnknown)
+		}
+		return fromDictCategory(v.Category)
+	}
+	return r.Category(Community{ASN: uint16(k.asn), Value: uint16(k.val)})
+}
+
+// LargeCounts returns the number of action and information inferences
+// over large communities.
+func (r *Result) LargeCounts() (action, information int) {
+	return r.src.LargeCounts()
+}
+
+// LargeObservedCount returns how many distinct large communities the
+// result covers (classified plus excluded).
+func (r *Result) LargeObservedCount() int { return r.src.LargeObserved() }
+
+// LargeExcludedCount returns how many observed large communities were
+// deliberately left unclassified.
+func (r *Result) LargeExcludedCount() int {
+	action, information := r.src.LargeCounts()
+	return r.src.LargeObserved() - action - information
+}
+
+// LargeClusterCount returns the number of inferred large clusters.
+func (r *Result) LargeClusterCount() int { return r.src.LargeClusterCount() }
+
+// LargeClusters returns every inferred large cluster, sorted by
+// (ASN, Fn, Lo).
+func (r *Result) LargeClusters() []LargeCluster {
+	n := r.src.LargeClusterCount()
+	out := make([]LargeCluster, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, largeClusterFromSummary(r.src.LargeClusterSummaryAt(i)))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ASN != out[j].ASN {
+			return out[i].ASN < out[j].ASN
+		}
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Lo < out[j].Lo
+	})
+	return out
+}
+
+// LabeledKey pairs a generalized community key with its inferred
+// category.
+type LabeledKey struct {
+	Key      CommunityKey
+	Category Category
+}
+
+// LabeledLarge returns every classified large community with its
+// label, sorted by (ASN, Fn, Value).
+func (r *Result) LabeledLarge() []LabeledKey {
+	action, information := r.src.LargeCounts()
+	out := make([]LabeledKey, 0, action+information)
+	r.src.EachLargeLabeled(func(lc bgp.LargeCommunity, cat dict.Category) bool {
+		out = append(out, LabeledKey{
+			Key:      LargeKey(lc.GlobalAdmin, lc.LocalData1, lc.LocalData2),
+			Category: fromDictCategory(cat),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.asn != b.asn {
+			return a.asn < b.asn
+		}
+		if a.fn != b.fn {
+			return a.fn < b.fn
+		}
+		return a.val < b.val
+	})
 	return out
 }
 
@@ -786,9 +1081,25 @@ func (r *Result) WriteSnapshot(w io.Writer, info SnapshotInfo) error {
 // WriteSnapshotV2 serializes the result into the flat, mmap-able v2
 // snapshot layout that OpenSnapshotFile serves zero-copy. Verdicts are
 // identical across formats; v2 additionally gives replicas O(1) cold
-// start and shared page cache.
+// start and shared page cache. v2 cannot represent large-community
+// inferences: writing a result that has any fails with an error — use
+// WriteSnapshotV3 or WriteSnapshotFlat for those.
 func (r *Result) WriteSnapshotV2(w io.Writer, info SnapshotInfo) error {
 	return core.WriteSnapshotV2(w, r.inferences(), info.meta())
+}
+
+// WriteSnapshotV3 serializes the result into the v3 flat layout: the
+// v2 container plus the large-community sections. Valid for any
+// result; classic-only results just carry empty large sections.
+func (r *Result) WriteSnapshotV3(w io.Writer, info SnapshotInfo) error {
+	return core.WriteSnapshotV3(w, r.inferences(), info.meta())
+}
+
+// WriteSnapshotFlat picks the cheapest flat layout that can represent
+// the result: v2 for classic-only inferences (byte-identical to
+// WriteSnapshotV2) and v3 when large inferences are present.
+func (r *Result) WriteSnapshotFlat(w io.Writer, info SnapshotInfo) error {
+	return core.WriteSnapshotFlat(w, r.inferences(), info.meta())
 }
 
 // ReadSnapshot loads a Result back from a snapshot of either format
@@ -802,7 +1113,7 @@ func ReadSnapshot(rd io.Reader) (*Result, SnapshotInfo, error) {
 }
 
 // OpenSnapshotFile opens the snapshot at path in the cheapest mode its
-// format allows: v2 snapshots are memory-mapped and served zero-copy
+// format allows: v2/v3 snapshots are memory-mapped and served zero-copy
 // (O(1) cold start, page cache shared between replicas), v1 snapshots
 // are decoded onto the heap. Close the Result to release a mapping.
 func OpenSnapshotFile(path string) (*Result, SnapshotInfo, error) {
@@ -816,7 +1127,7 @@ func OpenSnapshotFile(path string) (*Result, SnapshotInfo, error) {
 	if rerr != nil {
 		return nil, SnapshotInfo{}, fmt.Errorf("snapshot: short header: %w", rerr)
 	}
-	if magic[9] == core.SnapshotVersionV2 {
+	if magic[9] == core.SnapshotVersionV2 || magic[9] == core.SnapshotVersionV3 {
 		m, err := core.OpenSnapshotMmap(path)
 		if err != nil {
 			return nil, SnapshotInfo{}, err
@@ -841,17 +1152,23 @@ func ReadSnapshotInfo(rd io.Reader) (SnapshotInfo, error) {
 	return snapshotInfo(meta), nil
 }
 
-// jsonInference mirrors one community in WriteJSON output.
+// jsonInference mirrors one community in WriteJSON output. Kind is
+// only rendered when the result covers large communities, so
+// classic-only documents keep their original shape.
 type jsonInference struct {
 	Community string `json:"community"`
 	Category  string `json:"category"`
+	Kind      string `json:"kind,omitempty"`
 }
 
-// jsonCluster mirrors one cluster in WriteJSON output.
+// jsonCluster mirrors one cluster in WriteJSON output. The numeric
+// fields are wide enough for large clusters; classic clusters render
+// identically to the historical uint16 shape. Fn and Kind only appear
+// when the result covers large communities.
 type jsonCluster struct {
-	ASN         uint16  `json:"asn"`
-	Lo          uint16  `json:"lo"`
-	Hi          uint16  `json:"hi"`
+	ASN         uint32  `json:"asn"`
+	Lo          uint32  `json:"lo"`
+	Hi          uint32  `json:"hi"`
 	Category    string  `json:"category"`
 	Size        int     `json:"size"`
 	OnPath      int     `json:"on_path"`
@@ -859,34 +1176,71 @@ type jsonCluster struct {
 	PureOnPath  bool    `json:"pure_on_path"`
 	PureOffPath bool    `json:"pure_off_path"`
 	Ratio       float64 `json:"ratio"`
+	Fn          *uint32 `json:"fn,omitempty"`
+	Kind        string  `json:"kind,omitempty"`
 }
 
 // WriteJSON emits the full inference output — labels, clusters, and
-// summary counts — as one JSON document.
+// summary counts — as one JSON document. When the result covers large
+// communities every inference and cluster carries a "kind" field
+// (classic|large), large clusters additionally carry "fn", and the
+// top-level large_* counters appear; classic-only documents are byte-
+// identical to the historical output.
 func (r *Result) WriteJSON(w io.Writer) error {
 	action, info := r.Counts()
+	largeAction, largeInfo := r.src.LargeCounts()
+	withKinds := r.src.LargeObserved() > 0
 	doc := struct {
-		Action      int             `json:"action"`
-		Information int             `json:"information"`
-		Excluded    int             `json:"excluded"`
-		Inferences  []jsonInference `json:"inferences"`
-		Clusters    []jsonCluster   `json:"clusters"`
+		Action           int             `json:"action"`
+		Information      int             `json:"information"`
+		Excluded         int             `json:"excluded"`
+		LargeAction      int             `json:"large_action,omitempty"`
+		LargeInformation int             `json:"large_information,omitempty"`
+		LargeExcluded    int             `json:"large_excluded,omitempty"`
+		Inferences       []jsonInference `json:"inferences"`
+		Clusters         []jsonCluster   `json:"clusters"`
 	}{
-		Action:      action,
-		Information: info,
-		Excluded:    r.src.ExcludedCount(),
-		Inferences:  make([]jsonInference, 0, action+info),
-		Clusters:    make([]jsonCluster, 0, r.src.ClusterCount()),
+		Action:           action,
+		Information:      info,
+		Excluded:         r.src.ExcludedCount(),
+		LargeAction:      largeAction,
+		LargeInformation: largeInfo,
+		LargeExcluded:    r.LargeExcludedCount(),
+		Inferences:       make([]jsonInference, 0, action+info+largeAction+largeInfo),
+		Clusters:         make([]jsonCluster, 0, r.src.ClusterCount()+r.src.LargeClusterCount()),
+	}
+	kindOf := func(k CommunityKind) string {
+		if !withKinds {
+			return ""
+		}
+		return k.String()
 	}
 	for _, lc := range r.Labeled() {
 		doc.Inferences = append(doc.Inferences, jsonInference{
-			Community: lc.Community.String(), Category: lc.Category.String()})
+			Community: lc.Community.String(), Category: lc.Category.String(),
+			Kind: kindOf(KindClassic)})
+	}
+	for _, lk := range r.LabeledLarge() {
+		doc.Inferences = append(doc.Inferences, jsonInference{
+			Community: lk.Key.String(), Category: lk.Category.String(),
+			Kind: kindOf(KindLarge)})
 	}
 	for _, cl := range r.Clusters() {
+		doc.Clusters = append(doc.Clusters, jsonCluster{
+			ASN: uint32(cl.ASN), Lo: uint32(cl.Lo), Hi: uint32(cl.Hi),
+			Category: cl.Category.String(),
+			Size:     cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
+			PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
+			Kind: kindOf(KindClassic),
+		})
+	}
+	for _, cl := range r.LargeClusters() {
+		fn := cl.Fn
 		doc.Clusters = append(doc.Clusters, jsonCluster{
 			ASN: cl.ASN, Lo: cl.Lo, Hi: cl.Hi, Category: cl.Category.String(),
 			Size: cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
 			PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
+			Fn: &fn, Kind: kindOf(KindLarge),
 		})
 	}
 	enc := json.NewEncoder(w)

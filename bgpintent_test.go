@@ -89,16 +89,26 @@ func TestResultTSV(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	action, info := res.Counts()
-	if len(lines) != action+info {
-		t.Errorf("TSV lines = %d, want %d", len(lines), action+info)
+	largeAction, largeInfo := res.LargeCounts()
+	if len(lines) != action+info+largeAction+largeInfo {
+		t.Errorf("TSV lines = %d, want %d", len(lines), action+info+largeAction+largeInfo)
+	}
+	// A mixed corpus emits the 3-column kind-qualified format; a
+	// classic-only corpus keeps the original 2-column layout.
+	wantCols := 2
+	if res.LargeObservedCount() > 0 {
+		wantCols = 3
 	}
 	for _, l := range lines[:5] {
 		parts := strings.Split(l, "\t")
-		if len(parts) != 2 || !strings.Contains(parts[0], ":") {
+		if len(parts) != wantCols || !strings.Contains(parts[0], ":") {
 			t.Fatalf("bad TSV line %q", l)
 		}
 		if parts[1] != "action" && parts[1] != "information" {
 			t.Fatalf("bad category %q", parts[1])
+		}
+		if wantCols == 3 && parts[2] != "classic" && parts[2] != "large" {
+			t.Fatalf("bad kind %q", parts[2])
 		}
 	}
 }

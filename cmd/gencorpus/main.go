@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	gencorpus -out corpus/ [-scale tiny|default] [-seed N] [-days N]
+//	gencorpus -out corpus/ [-scale tiny|default] [-seed N] [-days N] [-large-matrix|-no-large]
 package main
 
 import (
@@ -32,13 +32,18 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("gencorpus", flag.ContinueOnError)
 	var (
-		out   = fs.String("out", "corpus", "output directory")
-		scale = fs.String("scale", "default", "corpus scale: tiny, default or large")
-		seed  = fs.Int64("seed", 1, "generation seed")
-		days  = fs.Int("days", 7, "days of data to emit")
+		out    = fs.String("out", "corpus", "output directory")
+		scale  = fs.String("scale", "default", "corpus scale: tiny, default or large")
+		seed   = fs.Int64("seed", 1, "generation seed")
+		days   = fs.Int("days", 7, "days of data to emit")
+		matrix  = fs.Bool("large-matrix", false, "mirror every origin-attached community as a large community (arouteserver-style std/lrg matrix ground truth)")
+		noLarge = fs.Bool("no-large", false, "emit a classic-only corpus: no large-community mirroring at all")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *matrix && *noLarge {
+		return fmt.Errorf("-large-matrix and -no-large are mutually exclusive")
 	}
 
 	cfg := corpus.DefaultConfig()
@@ -52,6 +57,8 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unknown -scale %q", *scale)
 	}
 	cfg.Seed = *seed
+	cfg.LargeMatrix = *matrix
+	cfg.NoLargeComms = *noLarge
 	cfg.Days = 0 // days are simulated below, one file set at a time
 
 	c, err := corpus.Build(cfg)

@@ -67,7 +67,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		ratio   = fs.Float64("ratio", 160, "on-path:off-path ratio threshold")
 		outPath = fs.String("o", "", "write inferences to this file")
 		format  = fs.String("format", "tsv", "output format: tsv, json, or snapshot (the binary artifact intentd -snapshot serves from)")
-		snapVer = fs.Int("snap-version", 2, "snapshot format version: 2 (flat, mmap-able) or 1 (legacy gob)")
+		snapVer = fs.Int("snap-version", 0, "snapshot format version: 0 (auto: 2 for classic-only, 3 with large communities), 3, 2, or 1 (legacy gob)")
 		strict  = fs.Bool("strict", false, "fail on the first malformed MRT record instead of skipping it")
 		maxErr  = fs.Float64("max-error-rate", bgpintent.DefaultMaxErrorRate,
 			"abort when a file's corruption rate exceeds this fraction (negative disables)")
@@ -85,8 +85,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want tsv, json or snapshot)", *format)
 	}
-	if *snapVer != 1 && *snapVer != 2 {
-		return fmt.Errorf("unknown -snap-version %d (want 1 or 2)", *snapVer)
+	if *snapVer < 0 || *snapVer > 3 {
+		return fmt.Errorf("unknown -snap-version %d (want 0, 1, 2 or 3)", *snapVer)
 	}
 	// Reject bad -gap/-ratio before the (potentially long) load.
 	if err := (bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio}).Validate(); err != nil {
@@ -149,7 +149,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "ingest: %s\n", stats.Summary())
 	fmt.Fprintf(stdout, "loaded %d unique tuples over %d unique AS paths from %d vantage points\n",
 		c.Tuples(), c.Paths(), len(c.VantagePoints()))
-	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large, not classified)\n",
+	fmt.Fprintf(stdout, "observed %d distinct communities (+%d large)\n",
 		len(c.Communities()), c.LargeCommunities())
 
 	params := bgpintent.Params{MinGap: *gap, RatioThreshold: *ratio, Parallelism: *par, Observer: observer}
@@ -161,7 +161,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	action, info := res.Counts()
-	fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
+	if la, li := res.LargeCounts(); la+li > 0 {
+		fmt.Fprintf(stdout, "classified %d communities: %d action, %d information (large: %d action, %d information)\n",
+			action+info+la+li, action, info, la, li)
+	} else {
+		fmt.Fprintf(stdout, "classified %d communities: %d action, %d information\n", action+info, action, info)
+	}
 
 	if *outPath != "" {
 		var fill func(io.Writer) error
@@ -172,10 +177,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			fill = res.WriteJSON
 		case "snapshot":
 			info := c.SnapshotInfo(sourceLabel(*ribGlob, *updGlob))
-			if *snapVer == 1 {
+			switch *snapVer {
+			case 1:
 				fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
-			} else {
+			case 2:
 				fill = func(w io.Writer) error { return res.WriteSnapshotV2(w, info) }
+			case 3:
+				fill = func(w io.Writer) error { return res.WriteSnapshotV3(w, info) }
+			default:
+				fill = func(w io.Writer) error { return res.WriteSnapshotFlat(w, info) }
 			}
 		}
 		err := obs.Time(ctx, observer, obs.StageSnapshotWrite, *outPath, nil, func(context.Context) error {

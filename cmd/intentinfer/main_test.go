@@ -238,23 +238,28 @@ func TestFormatRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Action      int `json:"action"`
-		Information int `json:"information"`
-		Inferences  []struct {
+		Action           int `json:"action"`
+		Information      int `json:"information"`
+		LargeAction      int `json:"large_action"`
+		LargeInformation int `json:"large_information"`
+		Inferences       []struct {
 			Community string `json:"community"`
 			Category  string `json:"category"`
+			Kind      string `json:"kind"`
 		} `json:"inferences"`
 		Clusters []struct {
-			ASN uint16 `json:"asn"`
+			ASN uint32 `json:"asn"`
 		} `json:"clusters"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("-format json output is not JSON: %v", err)
 	}
 	tsvLines := strings.Split(strings.TrimSpace(string(wantTSV)), "\n")
-	if len(doc.Inferences) != len(tsvLines) || doc.Action+doc.Information != len(tsvLines) {
-		t.Errorf("json has %d inferences (action %d + information %d), TSV has %d lines",
-			len(doc.Inferences), doc.Action, doc.Information, len(tsvLines))
+	labeled := doc.Action + doc.Information + doc.LargeAction + doc.LargeInformation
+	if len(doc.Inferences) != len(tsvLines) || labeled != len(tsvLines) {
+		t.Errorf("json has %d inferences (action %d + information %d + large %d+%d), TSV has %d lines",
+			len(doc.Inferences), doc.Action, doc.Information,
+			doc.LargeAction, doc.LargeInformation, len(tsvLines))
 	}
 	if len(doc.Clusters) == 0 {
 		t.Error("json carries no clusters")

@@ -1,13 +1,15 @@
 // Command snapconvert converts intentd snapshots between format
 // versions and verifies their integrity. v1 is the legacy gob format;
-// v2 is the flat, mmap-able layout intentd serves zero-copy. Verdicts
-// are identical across formats, so converting a fleet's snapshots to
-// v2 is purely an operational upgrade: O(1) cold start and shared page
-// cache.
+// v2 is the flat, mmap-able layout intentd serves zero-copy; v3 is v2
+// plus the large-community sections. Verdicts are identical across
+// formats, so converting a fleet's snapshots to a flat version is
+// purely an operational upgrade: O(1) cold start and shared page
+// cache. Converting a snapshot with large-community inferences to v2
+// fails (v2 cannot represent them); use -to 3 or the -to 0 auto mode.
 //
 // Usage:
 //
-//	snapconvert -in corpus.snap -out corpus.v2.snap [-to 2]
+//	snapconvert -in corpus.snap -out corpus.v3.snap -to 3
 //	snapconvert -verify corpus.snap
 package main
 
@@ -36,7 +38,7 @@ func run(args []string) error {
 	var (
 		in     = fs.String("in", "", "snapshot to read (any format version)")
 		out    = fs.String("out", "", "converted snapshot to write")
-		to     = fs.Int("to", 2, "target format version: 2 (flat, mmap-able) or 1 (legacy gob)")
+		to     = fs.Int("to", 2, "target format version: 3 (flat + large communities), 2 (flat, classic-only), 1 (legacy gob), or 0 (auto: 2 unless large inferences are present)")
 		verify = fs.String("verify", "", "check this snapshot's structure and checksums, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -62,8 +64,8 @@ func run(args []string) error {
 	if *in == "" || *out == "" {
 		return fmt.Errorf("need -in and -out (or -verify); see -h")
 	}
-	if *to != 1 && *to != 2 {
-		return fmt.Errorf("unknown -to version %d (want 1 or 2)", *to)
+	if *to < 0 || *to > 3 {
+		return fmt.Errorf("unknown -to version %d (want 0, 1, 2 or 3)", *to)
 	}
 
 	f, err := os.Open(*in)
@@ -76,9 +78,16 @@ func run(args []string) error {
 		return fmt.Errorf("read %s: %w", *in, err)
 	}
 
-	fill := func(w io.Writer) error { return res.WriteSnapshotV2(w, info) }
-	if *to == 1 {
+	var fill func(io.Writer) error
+	switch *to {
+	case 0:
+		fill = func(w io.Writer) error { return res.WriteSnapshotFlat(w, info) }
+	case 1:
 		fill = func(w io.Writer) error { return res.WriteSnapshot(w, info) }
+	case 2:
+		fill = func(w io.Writer) error { return res.WriteSnapshotV2(w, info) }
+	case 3:
+		fill = func(w io.Writer) error { return res.WriteSnapshotV3(w, info) }
 	}
 	if err := writeAtomic(*out, fill); err != nil {
 		return err
@@ -92,8 +101,12 @@ func run(args []string) error {
 	if err := core.VerifySnapshot(data); err != nil {
 		return fmt.Errorf("converted snapshot failed verification: %w", err)
 	}
+	version := *to
+	if version == 0 && len(data) > 9 {
+		version = int(data[9]) // auto mode: report what was actually written
+	}
 	st, _ := os.Stat(*out)
-	fmt.Printf("wrote %s (v%d, %d bytes, %d communities)\n", *out, *to, st.Size(), info.Communities)
+	fmt.Printf("wrote %s (v%d, %d bytes, %d communities)\n", *out, version, st.Size(), info.Communities)
 	return nil
 }
 

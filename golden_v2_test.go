@@ -2,17 +2,21 @@ package bgpintent
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 )
 
-// TestGoldenV2Equivalence proves the v2 mmap path is indistinguishable
-// from the v1 heap path over the seed corpus: the committed v1 golden
-// snapshot, converted to v2 and served through the zero-copy mapping,
+// TestGoldenV2Equivalence proves the flat mmap path is
+// indistinguishable from the v1 heap path over the seed corpus: the
+// committed v1 golden snapshot (a mixed corpus with classic and large
+// inferences), converted to the flat layout — v3, since large
+// inferences are present — and served through the zero-copy mapping,
 // must produce byte-identical TSV/JSON renderings and identical
-// verdicts for every community — classified, excluded, and unobserved.
+// verdicts for every community — classified, excluded, and unobserved,
+// classic and large.
 func TestGoldenV2Equivalence(t *testing.T) {
 	f, err := os.Open("testdata/golden_synthetic.snap")
 	if err != nil {
@@ -23,14 +27,22 @@ func TestGoldenV2Equivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if heap.LargeObservedCount() == 0 {
+		t.Fatal("mixed golden carries no large communities; v3 path untested")
+	}
 
-	// Convert to v2 and serve it through the mmap open path.
-	v2Path := filepath.Join(t.TempDir(), "golden.v2.snap")
+	// Convert to the flat layout and serve it through the mmap open
+	// path. The golden has large inferences, so v2 must refuse and the
+	// auto-select writer must pick v3.
+	if err := heap.WriteSnapshotV2(io.Discard, info); err == nil {
+		t.Fatal("WriteSnapshotV2 accepted a result with large inferences")
+	}
+	v2Path := filepath.Join(t.TempDir(), "golden.v3.snap")
 	out, err := os.Create(v2Path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := heap.WriteSnapshotV2(out, info); err != nil {
+	if err := heap.WriteSnapshotFlat(out, info); err != nil {
 		t.Fatal(err)
 	}
 	if err := out.Close(); err != nil {
@@ -126,6 +138,54 @@ func TestGoldenV2Equivalence(t *testing.T) {
 	ghost := Comm(4242, 4242)
 	if a, b := heap.Lookup(ghost), mapped.Lookup(ghost); a != b {
 		t.Fatalf("unobserved Lookup differs: %+v vs %+v", a, b)
+	}
+
+	// Large-community parity: labels, clusters, per-key verdicts, and
+	// counters must survive the v3 round trip exactly.
+	heapLarge := heap.LabeledLarge()
+	mappedLarge := mapped.LabeledLarge()
+	if len(heapLarge) == 0 {
+		t.Fatal("mixed golden has no labeled large communities")
+	}
+	if len(heapLarge) != len(mappedLarge) {
+		t.Fatalf("labeled large counts differ: %d vs %d", len(heapLarge), len(mappedLarge))
+	}
+	for i := range heapLarge {
+		if heapLarge[i] != mappedLarge[i] {
+			t.Fatalf("labeled large[%d]: %+v vs %+v", i, heapLarge[i], mappedLarge[i])
+		}
+		a, b := heap.LookupKey(heapLarge[i].Key), mapped.LookupKey(heapLarge[i].Key)
+		ac, bc := a.LargeCluster, b.LargeCluster
+		a.LargeCluster, b.LargeCluster = nil, nil
+		if a != b {
+			t.Fatalf("LookupKey(%v) differs: %+v vs %+v", heapLarge[i].Key, a, b)
+		}
+		if (ac == nil) != (bc == nil) || (ac != nil && *ac != *bc) {
+			t.Fatalf("LookupKey(%v) cluster differs: %+v vs %+v", heapLarge[i].Key, ac, bc)
+		}
+	}
+	heapLC := heap.LargeClusters()
+	mappedLC := mapped.LargeClusters()
+	if len(heapLC) == 0 || len(heapLC) != len(mappedLC) {
+		t.Fatalf("large cluster counts differ: %d vs %d", len(heapLC), len(mappedLC))
+	}
+	for i := range heapLC {
+		if heapLC[i] != mappedLC[i] {
+			t.Fatalf("large cluster[%d]: %+v vs %+v", i, heapLC[i], mappedLC[i])
+		}
+	}
+	la, li := heap.LargeCounts()
+	ma2, mi2 := mapped.LargeCounts()
+	if la != ma2 || li != mi2 ||
+		heap.LargeObservedCount() != mapped.LargeObservedCount() ||
+		heap.LargeExcludedCount() != mapped.LargeExcludedCount() {
+		t.Fatalf("large counters differ: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			la, li, heap.LargeObservedCount(), heap.LargeExcludedCount(),
+			ma2, mi2, mapped.LargeObservedCount(), mapped.LargeExcludedCount())
+	}
+	ghostLarge := LargeKey(4242, 7, 4242)
+	if a, b := heap.LookupKey(ghostLarge), mapped.LookupKey(ghostLarge); a != b {
+		t.Fatalf("unobserved large LookupKey differs: %+v vs %+v", a, b)
 	}
 }
 

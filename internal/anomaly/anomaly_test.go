@@ -14,6 +14,7 @@ import (
 
 // fakeSem is a minimal InferenceSource for unit tests: a category map.
 type fakeSem struct {
+	core.NoLargeInferences
 	cats map[bgp.Community]dict.Category
 }
 

@@ -98,27 +98,40 @@ func ParseCommunity(s string) (Community, error) {
 	return NewCommunity(uint16(asn), uint16(val)), nil
 }
 
-// ParseCommunities parses a list of communities in canonical α:β
-// notation, separated by spaces and/or commas — the forms looking
-// glasses, bgpdump output, and route policies use, e.g.
-// "2914:3075 2914:420" or "2914:3075,2914:420". An empty string parses
-// to an empty set.
-func ParseCommunities(s string) (Communities, error) {
+// ParseCommunities parses a mixed list of communities, separated by
+// spaces and/or commas — the forms looking glasses, bgpdump output,
+// and route policies use, e.g. "2914:3075 2914:420" or
+// "2914:3075,64500:1:228". Two-part α:β tokens parse as classic
+// RFC 1997 communities, three-part asn:fn:value tokens as RFC 8092
+// large communities; each form round-trips exactly through its
+// String rendering. An empty string parses to empty sets.
+func ParseCommunities(s string) (Communities, LargeCommunities, error) {
 	fields := strings.FieldsFunc(s, func(r rune) bool {
 		return r == ' ' || r == ',' || r == '\t'
 	})
 	if len(fields) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
-	out := make(Communities, 0, len(fields))
+	var (
+		out Communities
+		lout LargeCommunities
+	)
 	for _, f := range fields {
+		if strings.Count(f, ":") == 2 {
+			lc, err := ParseLargeCommunity(f)
+			if err != nil {
+				return nil, nil, err
+			}
+			lout = append(lout, lc)
+			continue
+		}
 		c, err := ParseCommunity(f)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, c)
 	}
-	return out, nil
+	return out, lout, nil
 }
 
 // Communities is a set of regular communities carried by one route.
@@ -195,6 +208,52 @@ func (lc LargeCommunity) String() string {
 	return fmt.Sprintf("%d:%d:%d", lc.GlobalAdmin, lc.LocalData1, lc.LocalData2)
 }
 
+// Compare orders large communities numerically by (GlobalAdmin,
+// LocalData1, LocalData2): negative, zero or positive as lc sorts
+// before, equal to, or after o.
+func (lc LargeCommunity) Compare(o LargeCommunity) int {
+	switch {
+	case lc.GlobalAdmin != o.GlobalAdmin:
+		if lc.GlobalAdmin < o.GlobalAdmin {
+			return -1
+		}
+		return 1
+	case lc.LocalData1 != o.LocalData1:
+		if lc.LocalData1 < o.LocalData1 {
+			return -1
+		}
+		return 1
+	case lc.LocalData2 != o.LocalData2:
+		if lc.LocalData2 < o.LocalData2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// privateASNMin32/Max bound the IANA 32-bit private-use AS range
+// (RFC 6996).
+const (
+	privateASNMin32 uint32 = 4200000000
+)
+
+// IsPrivateASN32 reports whether a 32-bit AS number lies in a
+// private-use range (64512-65534 per RFC 6996, 4200000000-4294967294
+// per RFC 6996) or is one of the reserved values 65535 and 4294967295
+// (RFC 7300). The inference method does not classify communities whose
+// administrator ASN cannot identify a network.
+func IsPrivateASN32(asn uint32) bool {
+	return (asn >= privateASNMin16 && asn <= 65535) || asn >= privateASNMin32
+}
+
+// IsPrivateASN reports whether the large community's global
+// administrator lies in a private-use or reserved AS range, the
+// 32-bit analogue of Community.IsPrivateASN.
+func (lc LargeCommunity) IsPrivateASN() bool {
+	return IsPrivateASN32(lc.GlobalAdmin)
+}
+
 // ParseLargeCommunity parses canonical α:β:γ notation, e.g.
 // "57866:100:1".
 func ParseLargeCommunity(s string) (LargeCommunity, error) {
@@ -228,16 +287,26 @@ func (ls LargeCommunities) Clone() LargeCommunities {
 
 // Sort orders the set numerically, in place.
 func (ls LargeCommunities) Sort() {
-	sort.Slice(ls, func(i, j int) bool {
-		a, b := ls[i], ls[j]
-		if a.GlobalAdmin != b.GlobalAdmin {
-			return a.GlobalAdmin < b.GlobalAdmin
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Compare(ls[j]) < 0 })
+}
+
+// Canonical returns a sorted, de-duplicated copy of the set, the
+// identity under which routes carrying the same large communities in
+// different orders compare equal.
+func (ls LargeCommunities) Canonical() LargeCommunities {
+	if len(ls) == 0 {
+		return nil
+	}
+	out := ls.Clone()
+	out.Sort()
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
 		}
-		if a.LocalData1 != b.LocalData1 {
-			return a.LocalData1 < b.LocalData1
-		}
-		return a.LocalData2 < b.LocalData2
-	})
+	}
+	return out[:w]
 }
 
 // String renders the set as space-separated α:β:γ triples.

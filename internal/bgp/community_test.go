@@ -284,24 +284,28 @@ func TestCommunitiesClone(t *testing.T) {
 
 func TestParseCommunities(t *testing.T) {
 	for _, tc := range []struct {
-		in   string
-		want Communities
+		in        string
+		want      Communities
+		wantLarge LargeCommunities
 	}{
-		{"", nil},
-		{"   ", nil},
-		{"2914:3075", Communities{NewCommunity(2914, 3075)}},
-		{"2914:3075 2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}},
-		{"2914:3075,2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}},
+		{"", nil, nil},
+		{"   ", nil, nil},
+		{"2914:3075", Communities{NewCommunity(2914, 3075)}, nil},
+		{"2914:3075 2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}, nil},
+		{"2914:3075,2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)}, nil},
 		{"2914:3075, 2914:420\t1299:20", Communities{
-			NewCommunity(2914, 3075), NewCommunity(2914, 420), NewCommunity(1299, 20)}},
+			NewCommunity(2914, 3075), NewCommunity(2914, 420), NewCommunity(1299, 20)}, nil},
+		{"4200000000:1:2", nil, LargeCommunities{{4200000000, 1, 2}}},
+		{"2914:3075 57866:100:1,2914:420", Communities{NewCommunity(2914, 3075), NewCommunity(2914, 420)},
+			LargeCommunities{{57866, 100, 1}}},
 	} {
-		got, err := ParseCommunities(tc.in)
+		got, gotLarge, err := ParseCommunities(tc.in)
 		if err != nil {
 			t.Errorf("ParseCommunities(%q): %v", tc.in, err)
 			continue
 		}
-		if len(got) != len(tc.want) {
-			t.Errorf("ParseCommunities(%q) = %v, want %v", tc.in, got, tc.want)
+		if len(got) != len(tc.want) || len(gotLarge) != len(tc.wantLarge) {
+			t.Errorf("ParseCommunities(%q) = %v, %v, want %v, %v", tc.in, got, gotLarge, tc.want, tc.wantLarge)
 			continue
 		}
 		for i := range got {
@@ -309,9 +313,14 @@ func TestParseCommunities(t *testing.T) {
 				t.Errorf("ParseCommunities(%q)[%d] = %v, want %v", tc.in, i, got[i], tc.want[i])
 			}
 		}
+		for i := range gotLarge {
+			if gotLarge[i] != tc.wantLarge[i] {
+				t.Errorf("ParseCommunities(%q) large[%d] = %v, want %v", tc.in, i, gotLarge[i], tc.wantLarge[i])
+			}
+		}
 	}
-	for _, bad := range []string{"2914", "2914:x", "70000:1", "2914:3075 nope"} {
-		if _, err := ParseCommunities(bad); err == nil {
+	for _, bad := range []string{"2914", "2914:x", "70000:1", "2914:3075 nope", "1:2:3:4", "1:2:x"} {
+		if _, _, err := ParseCommunities(bad); err == nil {
 			t.Errorf("ParseCommunities(%q) accepted", bad)
 		}
 	}

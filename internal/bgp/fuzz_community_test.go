@@ -1,0 +1,113 @@
+package bgp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParseCommunities exercises the mixed classic/large parser: any
+// accepted input must round-trip exactly through the String renderings
+// of the two community kinds, and no input may panic.
+func FuzzParseCommunities(f *testing.F) {
+	f.Add("")
+	f.Add("2914:3075 2914:420")
+	f.Add("2914:3075,64500:1:228\t57866:100:1")
+	f.Add("4294967295:4294967295:4294967295")
+	f.Add("65535:65535")
+	f.Add("0:0 0:0:0")
+	f.Add("1:2:3:4")
+	f.Add("-1:2")
+	f.Fuzz(func(t *testing.T, s string) {
+		comms, larges, err := ParseCommunities(s)
+		if err != nil {
+			return
+		}
+		// Re-render and re-parse: the canonical notation must be a fixed
+		// point of the parser for both kinds.
+		var b bytes.Buffer
+		b.WriteString(comms.String())
+		if len(larges) > 0 {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(larges.String())
+		}
+		comms2, larges2, err := ParseCommunities(b.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", b.String(), s, err)
+		}
+		if len(comms2) != len(comms) || len(larges2) != len(larges) {
+			t.Fatalf("round-trip of %q changed counts: (%d,%d) -> (%d,%d)",
+				s, len(comms), len(larges), len(comms2), len(larges2))
+		}
+		for i := range comms {
+			if comms[i] != comms2[i] {
+				t.Fatalf("round-trip of %q: classic[%d] %v -> %v", s, i, comms[i], comms2[i])
+			}
+		}
+		for i := range larges {
+			if larges[i] != larges2[i] {
+				t.Fatalf("round-trip of %q: large[%d] %v -> %v", s, i, larges[i], larges2[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeLargeCommunities frames arbitrary bytes as a
+// LARGE_COMMUNITIES path attribute and drives the attribute decoder:
+// decode must never panic, must reject payloads that are not a multiple
+// of 12 bytes, and every accepted payload must survive an
+// encode/decode round trip bit-exactly.
+func FuzzDecodeLargeCommunities(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3})
+	f.Add(bytes.Repeat([]byte{0xff}, 24))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 0xffff {
+			payload = payload[:0xffff]
+		}
+		attr := []byte{0xd0 /* optional|transitive|extended length */, AttrLargeCommunities}
+		attr = binary.BigEndian.AppendUint16(attr, uint16(len(payload)))
+		attr = append(attr, payload...)
+
+		var a PathAttributes
+		err := DecodeAttrs(attr, &a)
+		if len(payload)%12 != 0 {
+			if err == nil {
+				t.Fatalf("decoder accepted %d-byte LARGE_COMMUNITIES payload", len(payload))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("decoder rejected well-formed %d-byte payload: %v", len(payload), err)
+		}
+		if got, want := len(a.LargeCommunities), len(payload)/12; got != want {
+			t.Fatalf("decoded %d large communities from %d bytes, want %d", got, len(payload), want)
+		}
+		if len(a.LargeCommunities) == 0 {
+			return
+		}
+		// Wire round trip: re-encoding the decoded attribute must
+		// reproduce the payload bytes exactly.
+		reenc := (&PathAttributes{LargeCommunities: a.LargeCommunities}).EncodeAttrs()
+		var b PathAttributes
+		if err := DecodeAttrs(reenc, &b); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(b.LargeCommunities) != len(a.LargeCommunities) {
+			t.Fatalf("re-decode count %d != %d", len(b.LargeCommunities), len(a.LargeCommunities))
+		}
+		for i := range a.LargeCommunities {
+			if a.LargeCommunities[i] != b.LargeCommunities[i] {
+				t.Fatalf("re-decode[%d]: %v != %v", i, b.LargeCommunities[i], a.LargeCommunities[i])
+			}
+			// And the text notation round-trips too.
+			lc, err := ParseLargeCommunity(a.LargeCommunities[i].String())
+			if err != nil || lc != a.LargeCommunities[i] {
+				t.Fatalf("String round-trip of %v: %v, %v", a.LargeCommunities[i], lc, err)
+			}
+		}
+	})
+}

@@ -125,11 +125,20 @@ type Inferences struct {
 	Excluded map[bgp.Community]ExcludeReason
 	Opts     Options
 
+	// The large-community (RFC 8092) counterparts; empty for
+	// classic-only corpora, in which case snapshots and reports are
+	// byte-identical to a larges-unaware build.
+	LargeLabels   map[bgp.LargeCommunity]dict.Category
+	LargeClusters []LargeCluster
+	LargeExcluded map[bgp.LargeCommunity]ExcludeReason
+
 	// index maps every observed community — classified or excluded —
 	// to its stats and (for classified ones) its cluster, backing
 	// Lookup. Built by ClassifyObserved and ReadSnapshot; the structure
-	// is immutable once built, so lookups need no locking.
-	index map[bgp.Community]lookupEntry
+	// is immutable once built, so lookups need no locking. largeIndex
+	// is its large-community sibling (nil when no larges were seen).
+	index      map[bgp.Community]lookupEntry
+	largeIndex map[bgp.LargeCommunity]largeLookupEntry
 }
 
 // lookupEntry is one observed community in the query index.
@@ -213,6 +222,10 @@ func (inf *Inferences) Counts() (action, info int) {
 // the evaluation's baseline-cluster analyses) build on.
 type ObservationSet struct {
 	Stats map[bgp.Community]*CommunityStats
+
+	// LargeStats is the large-community counterpart; nil when the
+	// corpus carries no large communities on any tuple.
+	LargeStats map[bgp.LargeCommunity]*LargeStats
 
 	asnOnPath map[uint32]bool
 	orgOnPath map[string]bool
@@ -480,6 +493,16 @@ func observe(ctx context.Context, ts *TupleStore, opts Options, dirty map[uint16
 	for r := range idx.comms {
 		os.Stats[idx.comms[r]] = &statsArr[r]
 	}
+
+	// Pass 3 (large communities): only when some tuple carries them,
+	// and never on the delta path — large dirty tracking does not exist,
+	// so ClassifyDelta falls back to a full classification instead.
+	if dirty == nil && ts.hasLargeTuples() {
+		observeLarges(ts, opts, os, workers, done)
+		if chClosed(done) {
+			return nil, ctx.Err()
+		}
+	}
 	return os, nil
 }
 
@@ -539,9 +562,13 @@ func ClassifyObservedContext(ctx context.Context, os *ObservationSet, opts Optio
 		excluded []excludedComm
 	}
 	var parts []alphaPart
+	var largeExcl []excludedLarge
 	err := tr.Stage(ctx, obs.StageCluster, "", func(s *obs.Span) {
-		s.Records = int64(len(os.Stats))
+		s.Records = int64(len(os.Stats) + len(os.LargeStats))
 	}, func(ctx context.Context) error {
+		if len(os.LargeStats) > 0 {
+			inf.LargeClusters, largeExcl = clusterLarges(os, opts)
+		}
 		byAlpha := make(map[uint16][]uint16)
 		for c := range os.Stats {
 			byAlpha[c.ASN()] = append(byAlpha[c.ASN()], c.Value())
@@ -608,8 +635,9 @@ func ClassifyObservedContext(ctx context.Context, os *ObservationSet, opts Optio
 	// a pure per-cluster function, so clusters are labeled in place on
 	// the worker pool with no ordering concerns.
 	excludedStats := make(map[bgp.Community]CommunityStats)
+	largeExclStats := make(map[bgp.LargeCommunity]LargeStats)
 	err = tr.Stage(ctx, obs.StageRatio, "", func(s *obs.Span) {
-		s.Records = int64(len(inf.Clusters))
+		s.Records = int64(len(inf.Clusters) + len(inf.LargeClusters))
 	}, func(ctx context.Context) error {
 		for _, p := range parts {
 			for _, e := range p.excluded {
@@ -618,8 +646,20 @@ func ClassifyObservedContext(ctx context.Context, os *ObservationSet, opts Optio
 			}
 			inf.Clusters = append(inf.Clusters, p.clusters...)
 		}
-		return ParallelForContext(ctx, workers, len(inf.Clusters), func(i int) {
+		if len(largeExcl) > 0 {
+			inf.LargeExcluded = make(map[bgp.LargeCommunity]ExcludeReason, len(largeExcl))
+			for _, e := range largeExcl {
+				inf.LargeExcluded[e.comm] = e.reason
+				largeExclStats[e.comm] = e.stats
+			}
+		}
+		if err := ParallelForContext(ctx, workers, len(inf.Clusters), func(i int) {
 			labelCluster(&inf.Clusters[i], opts)
+		}); err != nil {
+			return err
+		}
+		return ParallelForContext(ctx, workers, len(inf.LargeClusters), func(i int) {
+			labelLargeCluster(&inf.LargeClusters[i], opts)
 		})
 	})
 	if err != nil {
@@ -640,7 +680,17 @@ func ClassifyObservedContext(ctx context.Context, os *ObservationSet, opts Optio
 				inf.Labels[m.Comm] = cl.Label
 			}
 		}
+		if len(inf.LargeClusters) > 0 {
+			inf.LargeLabels = make(map[bgp.LargeCommunity]dict.Category)
+			for i := range inf.LargeClusters {
+				cl := &inf.LargeClusters[i]
+				for _, m := range cl.Members {
+					inf.LargeLabels[m.Comm] = cl.Label
+				}
+			}
+		}
 		inf.buildIndex(excludedStats)
+		inf.buildLargeIndex(largeExclStats)
 		return ctx.Err()
 	})
 	if err != nil {
@@ -661,13 +711,17 @@ type excludedComm struct {
 	stats  CommunityStats
 }
 
-// clusterIndexes splits a sorted β list into [start, end) cluster index
-// pairs using the minimum-gap rule.
-func clusterIndexes(betas []uint16, minGap int) [][2]int {
+// clusterIndexes splits a sorted value list into [start, end) cluster
+// index pairs using the minimum-gap rule. Generic over the value
+// width: classic clustering runs over 16-bit β values, large-community
+// clustering over the 32-bit LocalData2 space, with identical gap
+// semantics (so a classic corpus mirrored into α:fn:β clusters the
+// same way).
+func clusterIndexes[T uint16 | uint32](vals []T, minGap int) [][2]int {
 	var out [][2]int
 	start := 0
-	for i := 1; i <= len(betas); i++ {
-		if i == len(betas) || int(betas[i])-int(betas[i-1]) > minGap {
+	for i := 1; i <= len(vals); i++ {
+		if i == len(vals) || int(vals[i])-int(vals[i-1]) > minGap {
 			out = append(out, [2]int{start, i})
 			start = i
 		}
@@ -675,10 +729,37 @@ func clusterIndexes(betas []uint16, minGap int) [][2]int {
 	return out
 }
 
-// labelCluster applies the §5.2 decision rule in place: never off-path
-// or ratio at/above threshold -> information; always off-path or ratio
-// below -> action. The mixed-cluster ratio is the mean of the member
-// ratios (or the pooled ratio under the ablation option).
+// decideLabel is the §5.2 decision rule shared by the classic and
+// large labelers: never off-path or ratio at/above threshold ->
+// information; always off-path or ratio below -> action. The
+// mixed-cluster ratio is the mean of the member ratios (or the pooled
+// ratio under the ablation option).
+func decideLabel(onTotal, offTotal int, ratioSum float64, members int, opts Options) (pureOn, pureOff bool, ratio float64, label dict.Category) {
+	pureOn = offTotal == 0
+	pureOff = onTotal == 0
+	if opts.PooledRatio {
+		off := offTotal
+		if off == 0 {
+			off = 1
+		}
+		ratio = float64(onTotal) / float64(off)
+	} else {
+		ratio = ratioSum / float64(members)
+	}
+	switch {
+	case pureOn:
+		label = dict.CatInformation
+	case pureOff:
+		label = dict.CatAction
+	case ratio >= opts.RatioThreshold:
+		label = dict.CatInformation
+	default:
+		label = dict.CatAction
+	}
+	return pureOn, pureOff, ratio, label
+}
+
+// labelCluster applies the decision rule to a classic cluster in place.
 func labelCluster(cl *Cluster, opts Options) {
 	onTotal, offTotal := 0, 0
 	ratioSum := 0.0
@@ -687,27 +768,8 @@ func labelCluster(cl *Cluster, opts Options) {
 		offTotal += m.OffPath
 		ratioSum += m.Ratio()
 	}
-	cl.PureOnPath = offTotal == 0
-	cl.PureOffPath = onTotal == 0
-	if opts.PooledRatio {
-		off := offTotal
-		if off == 0 {
-			off = 1
-		}
-		cl.Ratio = float64(onTotal) / float64(off)
-	} else {
-		cl.Ratio = ratioSum / float64(len(cl.Members))
-	}
-	switch {
-	case cl.PureOnPath:
-		cl.Label = dict.CatInformation
-	case cl.PureOffPath:
-		cl.Label = dict.CatAction
-	case cl.Ratio >= opts.RatioThreshold:
-		cl.Label = dict.CatInformation
-	default:
-		cl.Label = dict.CatAction
-	}
+	cl.PureOnPath, cl.PureOffPath, cl.Ratio, cl.Label =
+		decideLabel(onTotal, offTotal, ratioSum, len(cl.Members), opts)
 }
 
 func anyVP(vps []uint32, filter map[uint32]bool) bool {

@@ -33,14 +33,17 @@ func deltaCompatible(a, b Options) bool {
 // it). The stream.Window tracks exactly that set.
 //
 // Falls back to a full classification when prev is nil, when the
-// classification options changed, or when sibling awareness
-// (opts.Orgs) is enabled — an org flip can dirty sibling αs the caller
-// cannot see, so the conservative path is the correct one.
+// classification options changed, when sibling awareness (opts.Orgs)
+// is enabled — an org flip can dirty sibling αs the caller cannot see
+// — or when large communities are in play on either side: the dirty
+// set tracks 16-bit αs only, so large evidence changes are invisible
+// to it and the conservative path is the correct one.
 //
 // A nil dirty set with a valid prev means nothing changed; prev is
 // returned as-is.
 func ClassifyDelta(ctx context.Context, ts *TupleStore, opts Options, prev *Inferences, dirty map[uint16]bool) (*Inferences, error) {
-	if prev == nil || opts.Orgs != nil || !deltaCompatible(opts, prev.Opts) {
+	if prev == nil || opts.Orgs != nil || !deltaCompatible(opts, prev.Opts) ||
+		ts.hasLargeTuples() || len(prev.LargeClusters) > 0 || len(prev.LargeExcluded) > 0 {
 		return ClassifyContext(ctx, ts, opts)
 	}
 	if len(dirty) == 0 {

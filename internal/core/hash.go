@@ -40,3 +40,19 @@ func hashComms(comms bgp.Communities) uint64 {
 	}
 	return h
 }
+
+// hashLarges is FNV-1a over canonical large communities. The empty
+// list hashes to 0, matching the zero intern ref, so classic-only
+// tuples carry a zero large key either way.
+func hashLarges(ls bgp.LargeCommunities) uint64 {
+	if len(ls) == 0 {
+		return 0
+	}
+	h := fnvOffset64
+	for _, lc := range ls {
+		h = fnvU32(h, lc.GlobalAdmin)
+		h = fnvU32(h, lc.LocalData1)
+		h = fnvU32(h, lc.LocalData2)
+	}
+	return h
+}

@@ -224,9 +224,117 @@ func (ci *commIntern) grow(old *commTable) *commTable {
 	return nt
 }
 
+// largeTable is one generation of the large-community intern hash
+// table, the RFC 8092 sibling of commTable: open-addressed, linear
+// probing, slots written atomically exactly once.
+type largeTable struct {
+	mask  uint64
+	slots []atomic.Uint64
+}
+
+// lookup probes for a large list with the given hash and content,
+// returning its ref. Lock-free; may miss entries inserted into a newer
+// table.
+func (t *largeTable) lookup(h uint64, canon bgp.LargeCommunities, arena *sharedArena[bgp.LargeCommunity]) (uint64, bool) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		s := t.slots[i].Load()
+		if s == 0 {
+			return 0, false
+		}
+		ref := s - 1
+		off, n := unpackRef(ref)
+		if int(n) == len(canon) && largesEqual(arena.view(off, n), canon) {
+			return ref, true
+		}
+	}
+}
+
+// insert publishes ref into the first empty slot of its probe chain.
+// Callers hold the intern mutex.
+func (t *largeTable) insert(h uint64, ref uint64) {
+	for i := h & t.mask; ; i = (i + 1) & t.mask {
+		if t.slots[i].Load() == 0 {
+			t.slots[i].Store(ref + 1)
+			return
+		}
+	}
+}
+
+// largeIntern globally deduplicates canonical large-community lists,
+// giving the RFC 8092 community key the same exact interned identity
+// the classic key has: two AddViews with the same canonical large list
+// always get the same ref, so shard-level tuple dedup needs no content
+// hashing. Refs depend on arrival order and are NOT stable across
+// runs; everything derived from them goes through the list content.
+type largeIntern struct {
+	arena sharedArena[bgp.LargeCommunity]
+	table atomic.Pointer[largeTable]
+	mu    sync.Mutex
+	count int // live entries (guarded by mu)
+}
+
+// intern returns the ref of canon, inserting it on first sight. The
+// hit path is lock-free and allocation-free; canon may be reused by
+// the caller (the arena keeps its own copy).
+func (li *largeIntern) intern(canon bgp.LargeCommunities) uint64 {
+	if len(canon) == 0 {
+		return 0
+	}
+	h := hashLarges(canon)
+	if t := li.table.Load(); t != nil {
+		if ref, ok := t.lookup(h, canon, &li.arena); ok {
+			return ref
+		}
+	}
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	t := li.table.Load()
+	if t != nil {
+		if ref, ok := t.lookup(h, canon, &li.arena); ok {
+			return ref
+		}
+	}
+	if t == nil || uint64(li.count+1)*4 > 3*(t.mask+1) {
+		t = li.grow(t)
+	}
+	off := li.arena.append(canon)
+	ref := packRef(off, uint32(len(canon)))
+	t.insert(h, ref)
+	li.count++
+	return ref
+}
+
+// view resolves a ref back to its list (shared storage; do not mutate).
+func (li *largeIntern) view(off, n uint32) bgp.LargeCommunities {
+	return li.arena.view(off, n)
+}
+
+// grow publishes a table of at least double the capacity with every
+// existing entry rehashed into it; see commIntern.grow.
+func (li *largeIntern) grow(old *largeTable) *largeTable {
+	size := uint64(1024)
+	if old != nil {
+		size = 2 * (old.mask + 1)
+	}
+	nt := &largeTable{mask: size - 1, slots: make([]atomic.Uint64, size)}
+	if old != nil {
+		for i := range old.slots {
+			s := old.slots[i].Load()
+			if s == 0 {
+				continue
+			}
+			off, n := unpackRef(s - 1)
+			nt.insert(hashLarges(li.arena.view(off, n)), s-1)
+		}
+	}
+	li.table.Store(nt)
+	return nt
+}
+
 // storeShared bundles the cross-shard structures one ShardedTupleStore
 // hands to all its shard TupleStores (and to the stitched output).
 type storeShared struct {
-	comms commIntern
-	asns  sharedArena[uint32]
+	comms  commIntern
+	larges largeIntern
+	asns   sharedArena[uint32]
 }

@@ -1,5 +1,5 @@
 // Mapped is the mmap-backed InferenceSource: a read-only view over a
-// v2 snapshot file whose query structures live in the kernel page
+// v2 or v3 snapshot file whose query structures live in the kernel page
 // cache, not this process's heap. Opening one is O(1) in corpus size;
 // N replicas mapping the same file share one physical copy of the
 // data; and Verdict reads decode fixed-width records straight off the
@@ -24,7 +24,7 @@ import (
 )
 
 // Mapped is an immutable inference set served directly from a mapped
-// v2 snapshot file. Safe for unsynchronized concurrent readers.
+// v2 or v3 snapshot file. Safe for unsynchronized concurrent readers.
 type Mapped struct {
 	s       *snapV2
 	mmapped bool // true when backed by a real mmap, false for the heap fallback
@@ -33,7 +33,7 @@ type Mapped struct {
 	closed  atomic.Bool
 }
 
-// OpenSnapshotMmap maps the v2 snapshot at path and returns a queryable
+// OpenSnapshotMmap maps the v2/v3 snapshot at path and returns a queryable
 // view. The work done is O(1) in corpus size: the file is mapped (or,
 // on platforms without mmap support, read whole), the header and
 // section table are validated, and the tiny meta/stats sections are
@@ -211,6 +211,70 @@ func (m *Mapped) EachLabeled(fn func(c bgp.Community, cat dict.Category) bool) {
 			continue
 		}
 		if !fn(bgp.Community(comm), m.s.clusterLabel(int(cluster))) {
+			return
+		}
+	}
+}
+
+// VerdictLarge answers one large-community query by binary-searching
+// the mapped large lookup section (v3 snapshots; on a v2 file every
+// large community is unobserved). Zero-alloc like Verdict.
+func (m *Mapped) VerdictLarge(lc bgp.LargeCommunity) LargeVerdict {
+	i, ok := m.s.findLargeLookup(lc)
+	if !ok {
+		return LargeVerdict{Comm: lc, Reason: ExcludeUnobserved}
+	}
+	_, cluster, on, off := m.s.largeLookupAt(i)
+	v := LargeVerdict{
+		Comm:     lc,
+		Observed: true,
+		Stats:    LargeStats{Comm: lc, OnPath: int(on), OffPath: int(off)},
+	}
+	if cluster >= 0 {
+		if cs, ok := m.s.largeClusterSummaryAt(int(cluster)); ok {
+			v.HasCluster = true
+			v.Cluster = cs
+			v.Category = cs.Label
+		}
+		return v
+	}
+	reason := -cluster
+	if reason > int32(ExcludeNeverOnPath) {
+		reason = int32(ExcludeUnobserved)
+	}
+	v.Reason = ExcludeReason(reason)
+	return v
+}
+
+// LargeObserved is the number of distinct large communities in the
+// snapshot (0 on v2 files).
+func (m *Mapped) LargeObserved() int { return m.s.largeObserved }
+
+// LargeCounts returns the large action/information label totals,
+// precomputed at write time.
+func (m *Mapped) LargeCounts() (action, information int) {
+	return m.s.largeAction, m.s.largeInformation
+}
+
+// LargeClusterCount is the number of large clusters in the snapshot.
+func (m *Mapped) LargeClusterCount() int { return m.s.largeClusterCount() }
+
+// LargeClusterSummaryAt decodes the i-th large cluster record (sorted
+// by (alpha, fn, lo)); i must be in [0, LargeClusterCount()).
+func (m *Mapped) LargeClusterSummaryAt(i int) LargeClusterSummary {
+	cs, _ := m.s.largeClusterSummaryAt(i)
+	return cs
+}
+
+// EachLargeLabeled visits every classified large community in
+// ascending (ga, ld1, ld2) order.
+func (m *Mapped) EachLargeLabeled(fn func(lc bgp.LargeCommunity, cat dict.Category) bool) {
+	for i, n := 0, m.s.largeLookupCount(); i < n; i++ {
+		lc, cluster, _, _ := m.s.largeLookupAt(i)
+		if cluster < 0 {
+			continue
+		}
+		if !fn(lc, m.s.largeClusterLabel(int(cluster))) {
 			return
 		}
 	}

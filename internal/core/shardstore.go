@@ -65,9 +65,18 @@ func NewShardedTupleStore(n int) *ShardedTupleStore {
 // Shards returns the shard count.
 func (s *ShardedTupleStore) Shards() int { return len(s.shards) }
 
-// AddView records one vantage-point observation; safe for concurrent
-// use. Semantics match TupleStore.AddView.
+// AddView records one vantage-point observation without large
+// communities; safe for concurrent use. See AddViewLarge.
 func (s *ShardedTupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
+	s.AddViewLarge(vp, path, comms, nil)
+}
+
+// AddViewLarge records one vantage-point observation; safe for
+// concurrent use. Semantics match TupleStore.AddViewLarge: the larges
+// are noted into the distinct-large statistics even when the path is
+// empty and no tuple results.
+func (s *ShardedTupleStore) AddViewLarge(vp uint32, path []uint32, comms bgp.Communities, larges bgp.LargeCommunities) {
+	s.NoteLarge(larges)
 	if len(path) == 0 {
 		return
 	}
@@ -75,16 +84,24 @@ func (s *ShardedTupleStore) AddView(vp uint32, path []uint32, comms bgp.Communit
 	sc.key = appendPathKey(sc.key[:0], path)
 	sh := &s.shards[hashKey(sc.key)&s.mask]
 	sh.mu.Lock()
-	sh.ts.addViewKeyed(vp, sc.key, path, comms, sc)
+	sh.ts.addViewKeyed(vp, sc.key, path, comms, larges, sc)
 	sh.mu.Unlock()
 	addScratchPool.Put(sc)
 }
 
-// AddViewASPath is AddView taking the path as an un-flattened
-// bgp.ASPath: the flattening happens into pooled scratch, so callers
-// feeding decoded MRT attributes avoid the per-view []uint32 allocation
-// of ASPath.Flatten.
+// AddViewASPath is AddViewASPathLarge without large communities.
 func (s *ShardedTupleStore) AddViewASPath(vp uint32, path bgp.ASPath, comms bgp.Communities) {
+	s.AddViewASPathLarge(vp, path, comms, nil)
+}
+
+// AddViewASPathLarge is AddViewLarge taking the path as an
+// un-flattened bgp.ASPath: the flattening happens into pooled scratch,
+// so callers feeding decoded MRT attributes avoid the per-view
+// []uint32 allocation of ASPath.Flatten. Larges are noted before the
+// empty-path early return, so the distinct-large count matches the
+// sequential loader's.
+func (s *ShardedTupleStore) AddViewASPathLarge(vp uint32, path bgp.ASPath, comms bgp.Communities, larges bgp.LargeCommunities) {
+	s.NoteLarge(larges)
 	sc := addScratchPool.Get().(*addScratch)
 	sc.flat = path.AppendFlatten(sc.flat[:0])
 	if len(sc.flat) == 0 {
@@ -94,7 +111,7 @@ func (s *ShardedTupleStore) AddViewASPath(vp uint32, path bgp.ASPath, comms bgp.
 	sc.key = appendPathKey(sc.key[:0], sc.flat)
 	sh := &s.shards[hashKey(sc.key)&s.mask]
 	sh.mu.Lock()
-	sh.ts.addViewKeyed(vp, sc.key, sc.flat, comms, sc)
+	sh.ts.addViewKeyed(vp, sc.key, sc.flat, comms, larges, sc)
 	sh.mu.Unlock()
 	addScratchPool.Put(sc)
 }
@@ -181,7 +198,10 @@ func (s *ShardedTupleStore) Stitch(workers int) *TupleStore {
 			if c := strings.Compare(ts.pathKeys[ta.PathID], ts.pathKeys[tb.PathID]); c != 0 {
 				return c
 			}
-			return compareComms(ts.TupleComms(ta), ts.TupleComms(tb))
+			if c := compareComms(ts.TupleComms(ta), ts.TupleComms(tb)); c != 0 {
+				return c
+			}
+			return compareLarges(ts.TupleLarges(ta), ts.TupleLarges(tb))
 		})
 		// Paths get their global IDs in ascending path-key order — the
 		// same first-appearance order the sorted tuple emission implies,
@@ -208,6 +228,7 @@ func (s *ShardedTupleStore) Stitch(workers int) *TupleStore {
 			out.tuples[tupleOff[i]+j] = Tuple{
 				PathID: remap[t.PathID],
 				comms:  t.comms,
+				lcomms: t.lcomms,
 				vpOff:  vpCur, vpLen: uint32(len(vps)), vpCap: uint32(len(vps)),
 			}
 			vpCur += uint32(len(vps))
@@ -233,6 +254,18 @@ func compareComms(a, b bgp.Communities) int {
 				return -1
 			}
 			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// compareLarges orders canonical large-community lists
+// lexicographically by element Compare order.
+func compareLarges(a, b bgp.LargeCommunities) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
 		}
 	}
 	return len(a) - len(b)

@@ -10,10 +10,20 @@
 //	uint64    bodyLen
 //	[bodyLen] gob(snapshotBody)   — clusters, exclusions, options
 //	uint32    IEEE CRC-32 of the body section
+//	(optional, only when large-community inferences exist:)
+//	uint64    largeLen
+//	[largeLen] gob(snapshotLargeBody) — large clusters + exclusions
+//	uint32    IEEE CRC-32 of the large section
 //
 // The header carries section lengths, so a reader can fetch the meta
 // block (ReadSnapshotMeta) without touching the — much larger — body,
-// and tools can seek past sections they do not care about.
+// and tools can seek past sections they do not care about. The large
+// section trails the body CRC so that (a) classic-only snapshots stay
+// byte-identical to what pre-large writers produced and (b) readers
+// unaware of large communities stop cleanly at the CRC, ignoring the
+// trailer. snapshotBody itself must never change shape: gob encodes
+// struct fields even when zero, so adding a field there would silently
+// change every classic snapshot's bytes.
 package core
 
 import (
@@ -74,11 +84,34 @@ type snapshotExcluded struct {
 	OffPath int
 }
 
-// snapshotBody is the gob payload of the body section.
+// snapshotBody is the gob payload of the body section. Do not add
+// fields: see the layout comment.
 type snapshotBody struct {
 	Opts     snapshotOpts
 	Clusters []Cluster
 	Excluded []snapshotExcluded
+}
+
+// snapshotLargeExcluded is one excluded large community with its
+// evidence.
+type snapshotLargeExcluded struct {
+	Comm    bgp.LargeCommunity
+	Reason  ExcludeReason
+	OnPath  int
+	OffPath int
+}
+
+// snapshotLargeBody is the gob payload of the optional trailing large
+// section.
+type snapshotLargeBody struct {
+	Clusters []LargeCluster
+	Excluded []snapshotLargeExcluded
+}
+
+// hasLargeInferences reports whether the inferences carry any
+// large-community result worth persisting.
+func hasLargeInferences(inf *Inferences) bool {
+	return len(inf.LargeClusters) > 0 || len(inf.LargeExcluded) > 0
 }
 
 // WriteSnapshot serializes the inferences and meta into w.
@@ -131,7 +164,38 @@ func WriteSnapshot(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 	if _, err := w.Write(bodyBuf.Bytes()); err != nil {
 		return err
 	}
-	return binary.Write(w, binary.LittleEndian, crc)
+	if err := binary.Write(w, binary.LittleEndian, crc); err != nil {
+		return err
+	}
+	if !hasLargeInferences(inf) {
+		return nil
+	}
+
+	large := snapshotLargeBody{
+		Clusters: inf.LargeClusters,
+		Excluded: make([]snapshotLargeExcluded, 0, len(inf.LargeExcluded)),
+	}
+	for lc, reason := range inf.LargeExcluded {
+		e := snapshotLargeExcluded{Comm: lc, Reason: reason}
+		if l := inf.LookupLarge(lc); l.Observed {
+			e.OnPath, e.OffPath = l.Stats.OnPath, l.Stats.OffPath
+		}
+		large.Excluded = append(large.Excluded, e)
+	}
+	slices.SortFunc(large.Excluded, func(a, b snapshotLargeExcluded) int {
+		return a.Comm.Compare(b.Comm)
+	})
+	var largeBuf bytes.Buffer
+	if err := gob.NewEncoder(&largeBuf).Encode(&large); err != nil {
+		return fmt.Errorf("snapshot: encode large section: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(largeBuf.Len())); err != nil {
+		return err
+	}
+	if _, err := w.Write(largeBuf.Bytes()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc32.ChecksumIEEE(largeBuf.Bytes()))
 }
 
 // readSnapshotMagic consumes the 10-byte magic block and returns the
@@ -161,13 +225,14 @@ func readSnapshotHeaderV1(r io.Reader) (int, error) {
 	return int(metaLen), nil
 }
 
-// readAllV2 reads the remainder of a v2 snapshot from r (the 10-byte
-// magic already consumed) into memory and parses it. The streamed path
-// exists for format compatibility — replicas use OpenSnapshotMmap.
-func readAllV2(r io.Reader) (*snapV2, error) {
+// readAllV2 reads the remainder of a v2/v3 snapshot from r (the
+// 10-byte magic already consumed; its version byte passed in) into
+// memory and parses it. The streamed path exists for format
+// compatibility — replicas use OpenSnapshotMmap.
+func readAllV2(r io.Reader, version byte) (*snapV2, error) {
 	data := make([]byte, v2HeaderLen)
 	copy(data[:9], snapshotMagic[:9])
-	data[9] = SnapshotVersionV2
+	data[9] = version
 	if _, err := io.ReadFull(r, data[10:]); err != nil {
 		return nil, fmt.Errorf("snapshot: short v2 header: %w", err)
 	}
@@ -218,8 +283,8 @@ func ReadSnapshotMeta(r io.Reader) (SnapshotMeta, error) {
 			return meta, fmt.Errorf("snapshot: decode meta: %w", err)
 		}
 		return meta, nil
-	case SnapshotVersionV2:
-		s, err := readAllV2(r)
+	case SnapshotVersionV2, SnapshotVersionV3:
+		s, err := readAllV2(r, version)
 		if err != nil {
 			return meta, err
 		}
@@ -240,8 +305,8 @@ func ReadSnapshot(r io.Reader) (*Inferences, SnapshotMeta, error) {
 	switch version {
 	case 1:
 		return readSnapshotV1(r)
-	case SnapshotVersionV2:
-		s, err := readAllV2(r)
+	case SnapshotVersionV2, SnapshotVersionV3:
+		s, err := readAllV2(r, version)
 		if err != nil {
 			return nil, meta, err
 		}
@@ -317,7 +382,60 @@ func readSnapshotV1(r io.Reader) (*Inferences, SnapshotMeta, error) {
 		excludedStats[e.Comm] = CommunityStats{Comm: e.Comm, OnPath: e.OnPath, OffPath: e.OffPath}
 	}
 	inf.buildIndex(excludedStats)
+	if err := readSnapshotV1Large(r, inf); err != nil {
+		return nil, meta, err
+	}
 	return inf, meta, nil
+}
+
+// readSnapshotV1Large consumes the optional trailing large section; a
+// clean EOF at the section boundary means a classic-only snapshot.
+func readSnapshotV1Large(r io.Reader, inf *Inferences) error {
+	var largeLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &largeLen); err != nil {
+		if err == io.EOF {
+			return nil
+		}
+		return fmt.Errorf("snapshot: short large section header: %w", err)
+	}
+	if largeLen > maxSnapshotSection {
+		return fmt.Errorf("snapshot: implausible large section length %d", largeLen)
+	}
+	largeRaw, err := readExact(r, largeLen)
+	if err != nil {
+		return fmt.Errorf("snapshot: short large section: %w", err)
+	}
+	var wantCRC uint32
+	if err := binary.Read(r, binary.LittleEndian, &wantCRC); err != nil {
+		return fmt.Errorf("snapshot: missing large section checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(largeRaw); got != wantCRC {
+		return fmt.Errorf("snapshot: large section checksum mismatch (corrupt file): got %08x want %08x", got, wantCRC)
+	}
+	var large snapshotLargeBody
+	if err := gob.NewDecoder(bytes.NewReader(largeRaw)).Decode(&large); err != nil {
+		return fmt.Errorf("snapshot: decode large section: %w", err)
+	}
+	inf.LargeClusters = large.Clusters
+	if len(inf.LargeClusters) > 0 {
+		inf.LargeLabels = make(map[bgp.LargeCommunity]dict.Category)
+		for i := range inf.LargeClusters {
+			cl := &inf.LargeClusters[i]
+			for _, m := range cl.Members {
+				inf.LargeLabels[m.Comm] = cl.Label
+			}
+		}
+	}
+	largeExclStats := make(map[bgp.LargeCommunity]LargeStats, len(large.Excluded))
+	if len(large.Excluded) > 0 {
+		inf.LargeExcluded = make(map[bgp.LargeCommunity]ExcludeReason, len(large.Excluded))
+		for _, e := range large.Excluded {
+			inf.LargeExcluded[e.Comm] = e.Reason
+			largeExclStats[e.Comm] = LargeStats{Comm: e.Comm, OnPath: e.OnPath, OffPath: e.OffPath}
+		}
+	}
+	inf.buildLargeIndex(largeExclStats)
+	return nil
 }
 
 // VerifySnapshot fully validates a snapshot of either format version:
@@ -327,7 +445,7 @@ func VerifySnapshot(data []byte) error {
 	if len(data) < 10 {
 		return fmt.Errorf("snapshot: short header (%d bytes)", len(data))
 	}
-	if data[9] == SnapshotVersionV2 && bytes.Equal(data[:9], snapshotMagic[:9]) {
+	if (data[9] == SnapshotVersionV2 || data[9] == SnapshotVersionV3) && bytes.Equal(data[:9], snapshotMagic[:9]) {
 		return VerifySnapshotV2(data)
 	}
 	_, _, err := ReadSnapshot(bytes.NewReader(data))

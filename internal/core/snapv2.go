@@ -31,12 +31,34 @@
 //	             u32 comm, i32 cluster (≥0: cluster index;
 //	             <0: negated ExcludeReason), i64 onPath, i64 offPath
 //
-// Opening a v2 snapshot is O(sections): validate the header and table,
-// decode the tiny meta/stats sections, and point slices at the record
-// arrays. Lookups binary-search the lookup section directly against
-// the mapped pages — no deserialization, no per-corpus heap, and cold
-// start independent of corpus size. Section CRCs are verified by
-// VerifySnapshotV2 (tools, fuzzing), not on open, to keep open O(1).
+// Version 3 is the same container with four more sections carrying the
+// RFC 8092 large-community inferences (the wider keys do not fit the
+// v2 record shapes):
+//
+//	lstats (6)    32 bytes: i64 action, i64 information, i64 observed,
+//	              u64 reserved
+//	lclusters (7) n × 56-byte records sorted by (alpha, fn, lo):
+//	              u32 alpha, u32 fn, u32 lo, u32 hi, u8 label, u8 flags,
+//	              u16 pad, u32 memberStart, u32 memberCount, u32 pad,
+//	              f64 ratio, i64 onPathSum, i64 offPathSum
+//	lmembers (8)  n × 32-byte LargeStats records grouped by cluster:
+//	              u32 ga, u32 ld1, u32 ld2, u32 pad, i64 onPath,
+//	              i64 offPath
+//	llookup (9)   n × 32-byte records sorted by (ga, ld1, ld2):
+//	              u32 ga, u32 ld1, u32 ld2, i32 cluster (encoded as in
+//	              lookup), i64 onPath, i64 offPath
+//
+// Classic-only inference sets are always written as v2 — byte-identical
+// to a larges-unaware writer — and v2 files remain readable forever;
+// the version bump exists so a v2-era reader fails loudly on a file
+// whose large sections it would otherwise silently ignore.
+//
+// Opening a v2/v3 snapshot is O(sections): validate the header and
+// table, decode the tiny meta/stats sections, and point slices at the
+// record arrays. Lookups binary-search the lookup section directly
+// against the mapped pages — no deserialization, no per-corpus heap,
+// and cold start independent of corpus size. Section CRCs are verified
+// by VerifySnapshotV2 (tools, fuzzing), not on open, to keep open O(1).
 package core
 
 import (
@@ -57,16 +79,24 @@ import (
 // SnapshotVersionV2 is the format version byte of the mmap-able layout.
 const SnapshotVersionV2 = 2
 
-// v2 section kinds.
+// SnapshotVersionV3 is v2 plus the large-community sections.
+const SnapshotVersionV3 = 3
+
+// v2/v3 section kinds.
 const (
 	secMeta     = 1
 	secStats    = 2
 	secClusters = 3
 	secMembers  = 4
 	secLookup   = 5
+	// v3-only sections.
+	secLargeStats    = 6
+	secLargeClusters = 7
+	secLargeMembers  = 8
+	secLargeLookup   = 9
 )
 
-// v2 fixed sizes.
+// v2/v3 fixed sizes.
 const (
 	v2HeaderLen     = 32
 	v2SectionLen    = 32 // one section-table entry
@@ -74,6 +104,11 @@ const (
 	v2ClusterRecLen = 48
 	v2MemberRecLen  = 24
 	v2LookupRecLen  = 24
+
+	v3LargeStatsLen      = 32
+	v3LargeClusterRecLen = 56
+	v3LargeMemberRecLen  = 32
+	v3LargeLookupRecLen  = 32
 
 	// v2MaxSections bounds the section count a header may claim, so a
 	// corrupt table cannot demand absurd allocations.
@@ -104,8 +139,35 @@ type v2LookupEntry struct {
 
 // WriteSnapshotV2 serializes the inferences in the flat v2 layout.
 // The output is deterministic: identical inferences produce identical
-// bytes regardless of map iteration order.
+// bytes regardless of map iteration order. Errors (rather than
+// silently dropping data) when the inferences carry large-community
+// results, which the v2 record shapes cannot hold; use
+// WriteSnapshotV3 or the auto-selecting WriteSnapshotFlat.
 func WriteSnapshotV2(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
+	if hasLargeInferences(inf) {
+		return fmt.Errorf("snapshot: inferences contain %d large clusters and %d large exclusions, which the v2 format cannot represent; write v3",
+			len(inf.LargeClusters), len(inf.LargeExcluded))
+	}
+	return writeFlatSnapshot(w, inf, meta, SnapshotVersionV2)
+}
+
+// WriteSnapshotV3 serializes the inferences in the flat v3 layout
+// (v2 plus the large-community sections, present even when empty).
+func WriteSnapshotV3(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
+	return writeFlatSnapshot(w, inf, meta, SnapshotVersionV3)
+}
+
+// WriteSnapshotFlat writes the newest flat layout the inferences need:
+// v2 for classic-only sets (byte-identical to a larges-unaware
+// writer), v3 when large-community inferences are present.
+func WriteSnapshotFlat(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
+	if hasLargeInferences(inf) {
+		return writeFlatSnapshot(w, inf, meta, SnapshotVersionV3)
+	}
+	return writeFlatSnapshot(w, inf, meta, SnapshotVersionV2)
+}
+
+func writeFlatSnapshot(w io.Writer, inf *Inferences, meta SnapshotMeta, version byte) error {
 	var metaBuf bytes.Buffer
 	if err := gob.NewEncoder(&metaBuf).Encode(&meta); err != nil {
 		return fmt.Errorf("snapshot: encode meta: %w", err)
@@ -220,6 +282,15 @@ func WriteSnapshotV2(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 		{secMembers, memberBuf},
 		{secLookup, lookupBuf},
 	}
+	if version >= SnapshotVersionV3 {
+		ls, lc, lm, ll := encodeLargeSections(inf)
+		sections = append(sections,
+			section{secLargeStats, ls},
+			section{secLargeClusters, lc},
+			section{secLargeMembers, lm},
+			section{secLargeLookup, ll},
+		)
+	}
 	tableLen := len(sections) * v2SectionLen
 	off := v2HeaderLen + tableLen
 	table := make([]byte, 0, tableLen)
@@ -239,7 +310,7 @@ func WriteSnapshotV2(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 
 	var hdr [v2HeaderLen]byte
 	copy(hdr[:9], snapshotMagic[:9])
-	hdr[9] = SnapshotVersionV2
+	hdr[9] = version
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(totalSize))
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(sections)))
 	binary.LittleEndian.PutUint32(hdr[28:], crc32.ChecksumIEEE(table))
@@ -267,7 +338,110 @@ func WriteSnapshotV2(w io.Writer, inf *Inferences, meta SnapshotMeta) error {
 	return nil
 }
 
-// snapV2 is a parsed view over a v2 snapshot's bytes — either an
+// v3LargeLookupEntry is the writer-side shape of one large lookup
+// record.
+type v3LargeLookupEntry struct {
+	comm    bgp.LargeCommunity
+	cluster int32
+	on, off int64
+}
+
+// encodeLargeSections renders the four v3 large sections. Output is
+// deterministic for identical inferences.
+func encodeLargeSections(inf *Inferences) (statsSec, clusterSec, memberSec, lookupSec []byte) {
+	order := make([]int, len(inf.LargeClusters))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		ca, cb := &inf.LargeClusters[a], &inf.LargeClusters[b]
+		if c := cmp.Compare(ca.Alpha, cb.Alpha); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(ca.Fn, cb.Fn); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(ca.Lo, cb.Lo); c != 0 {
+			return c
+		}
+		return cmp.Compare(ca.Hi, cb.Hi)
+	})
+
+	clusterSec = make([]byte, 0, len(order)*v3LargeClusterRecLen)
+	lookups := make([]v3LargeLookupEntry, 0, len(inf.LargeLabels)+len(inf.LargeExcluded))
+	for newIdx, oi := range order {
+		cl := &inf.LargeClusters[oi]
+		memberStart := len(memberSec) / v3LargeMemberRecLen
+		var onSum, offSum int64
+		for i := range cl.Members {
+			m := &cl.Members[i]
+			var mr [v3LargeMemberRecLen]byte
+			binary.LittleEndian.PutUint32(mr[0:], m.Comm.GlobalAdmin)
+			binary.LittleEndian.PutUint32(mr[4:], m.Comm.LocalData1)
+			binary.LittleEndian.PutUint32(mr[8:], m.Comm.LocalData2)
+			binary.LittleEndian.PutUint64(mr[16:], uint64(int64(m.OnPath)))
+			binary.LittleEndian.PutUint64(mr[24:], uint64(int64(m.OffPath)))
+			memberSec = append(memberSec, mr[:]...)
+			onSum += int64(m.OnPath)
+			offSum += int64(m.OffPath)
+			lookups = append(lookups, v3LargeLookupEntry{
+				comm: m.Comm, cluster: int32(newIdx),
+				on: int64(m.OnPath), off: int64(m.OffPath),
+			})
+		}
+		var rec [v3LargeClusterRecLen]byte
+		binary.LittleEndian.PutUint32(rec[0:], cl.Alpha)
+		binary.LittleEndian.PutUint32(rec[4:], cl.Fn)
+		binary.LittleEndian.PutUint32(rec[8:], cl.Lo)
+		binary.LittleEndian.PutUint32(rec[12:], cl.Hi)
+		rec[16] = byte(cl.Label)
+		var flags byte
+		if cl.PureOnPath {
+			flags |= v2ClusterPureOnPath
+		}
+		if cl.PureOffPath {
+			flags |= v2ClusterPureOffPath
+		}
+		rec[17] = flags
+		binary.LittleEndian.PutUint32(rec[20:], uint32(memberStart))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(len(cl.Members)))
+		binary.LittleEndian.PutUint64(rec[32:], math.Float64bits(cl.Ratio))
+		binary.LittleEndian.PutUint64(rec[40:], uint64(onSum))
+		binary.LittleEndian.PutUint64(rec[48:], uint64(offSum))
+		clusterSec = append(clusterSec, rec[:]...)
+	}
+
+	for lc, reason := range inf.LargeExcluded {
+		l := inf.LookupLarge(lc)
+		lookups = append(lookups, v3LargeLookupEntry{
+			comm: lc, cluster: -int32(reason),
+			on: int64(l.Stats.OnPath), off: int64(l.Stats.OffPath),
+		})
+	}
+	slices.SortFunc(lookups, func(a, b v3LargeLookupEntry) int {
+		return a.comm.Compare(b.comm)
+	})
+	lookupSec = make([]byte, 0, len(lookups)*v3LargeLookupRecLen)
+	for _, e := range lookups {
+		var lr [v3LargeLookupRecLen]byte
+		binary.LittleEndian.PutUint32(lr[0:], e.comm.GlobalAdmin)
+		binary.LittleEndian.PutUint32(lr[4:], e.comm.LocalData1)
+		binary.LittleEndian.PutUint32(lr[8:], e.comm.LocalData2)
+		binary.LittleEndian.PutUint32(lr[12:], uint32(e.cluster))
+		binary.LittleEndian.PutUint64(lr[16:], uint64(e.on))
+		binary.LittleEndian.PutUint64(lr[24:], uint64(e.off))
+		lookupSec = append(lookupSec, lr[:]...)
+	}
+
+	action, information := inf.LargeCounts()
+	statsSec = make([]byte, v3LargeStatsLen)
+	binary.LittleEndian.PutUint64(statsSec[0:], uint64(int64(action)))
+	binary.LittleEndian.PutUint64(statsSec[8:], uint64(int64(information)))
+	binary.LittleEndian.PutUint64(statsSec[16:], uint64(int64(len(lookups))))
+	return statsSec, clusterSec, memberSec, lookupSec
+}
+
+// snapV2 is a parsed view over a v2 or v3 snapshot's bytes — either an
 // mmap-ed region or a heap buffer. It holds only slice views into data
 // plus the decoded tiny sections; nothing per-record is materialized.
 type snapV2 struct {
@@ -286,6 +460,15 @@ type snapV2 struct {
 	clusters []byte // whole clusters section; len % v2ClusterRecLen == 0
 	members  []byte // whole members section; len % v2MemberRecLen == 0
 	lookup   []byte // whole lookup section; len % v2LookupRecLen == 0
+
+	// v3 large sections; nil on v2 files, in which case the large
+	// accessors report an empty large inference set.
+	largeAction      int
+	largeInformation int
+	largeObserved    int
+	largeClusters    []byte
+	largeMembers     []byte
+	largeLookup      []byte
 }
 
 // parseSnapshotV2 validates the header and section table and builds
@@ -300,8 +483,9 @@ func parseSnapshotV2(data []byte) (*snapV2, error) {
 	if !bytes.Equal(data[:9], snapshotMagic[:9]) {
 		return nil, fmt.Errorf("snapshot: bad magic %q", data[:9])
 	}
-	if data[9] != SnapshotVersionV2 {
-		return nil, fmt.Errorf("snapshot: not a v2 snapshot (version %d)", data[9])
+	version := data[9]
+	if version != SnapshotVersionV2 && version != SnapshotVersionV3 {
+		return nil, fmt.Errorf("snapshot: not a v2/v3 snapshot (version %d)", version)
 	}
 	if size := binary.LittleEndian.Uint64(data[16:]); size != uint64(len(data)) {
 		return nil, fmt.Errorf("snapshot: file size %d does not match header %d (truncated?)",
@@ -321,7 +505,7 @@ func parseSnapshotV2(data []byte) (*snapV2, error) {
 	}
 
 	s := &snapV2{data: data}
-	var metaRaw, statsRaw []byte
+	var metaRaw, statsRaw, largeStatsRaw []byte
 	seen := make(map[uint32]bool, nsec)
 	for i := 0; i < nsec; i++ {
 		ent := table[i*v2SectionLen:]
@@ -359,6 +543,23 @@ func parseSnapshotV2(data []byte) (*snapV2, error) {
 				return nil, fmt.Errorf("snapshot: lookup section length %d not a multiple of %d", length, v2LookupRecLen)
 			}
 			s.lookup = body
+		case secLargeStats:
+			largeStatsRaw = body
+		case secLargeClusters:
+			if length%v3LargeClusterRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: large clusters section length %d not a multiple of %d", length, v3LargeClusterRecLen)
+			}
+			s.largeClusters = body
+		case secLargeMembers:
+			if length%v3LargeMemberRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: large members section length %d not a multiple of %d", length, v3LargeMemberRecLen)
+			}
+			s.largeMembers = body
+		case secLargeLookup:
+			if length%v3LargeLookupRecLen != 0 {
+				return nil, fmt.Errorf("snapshot: large lookup section length %d not a multiple of %d", length, v3LargeLookupRecLen)
+			}
+			s.largeLookup = body
 		default:
 			// Unknown sections are skipped: future writers may append
 			// kinds old readers do not understand.
@@ -366,6 +567,25 @@ func parseSnapshotV2(data []byte) (*snapV2, error) {
 	}
 	if metaRaw == nil || statsRaw == nil || s.clusters == nil || s.members == nil || s.lookup == nil {
 		return nil, fmt.Errorf("snapshot: missing required section (meta/stats/clusters/members/lookup)")
+	}
+	if version >= SnapshotVersionV3 {
+		if largeStatsRaw == nil || s.largeClusters == nil || s.largeMembers == nil || s.largeLookup == nil {
+			return nil, fmt.Errorf("snapshot: v3 snapshot missing large section (lstats/lclusters/lmembers/llookup)")
+		}
+		if len(largeStatsRaw) != v3LargeStatsLen {
+			return nil, fmt.Errorf("snapshot: large stats section is %d bytes, want %d", len(largeStatsRaw), v3LargeStatsLen)
+		}
+		s.largeAction = int(int64(binary.LittleEndian.Uint64(largeStatsRaw[0:])))
+		s.largeInformation = int(int64(binary.LittleEndian.Uint64(largeStatsRaw[8:])))
+		s.largeObserved = int(int64(binary.LittleEndian.Uint64(largeStatsRaw[16:])))
+		if s.largeObserved != s.largeLookupCount() {
+			return nil, fmt.Errorf("snapshot: stats claim %d observed large communities, large lookup section holds %d",
+				s.largeObserved, s.largeLookupCount())
+		}
+		if s.largeAction < 0 || s.largeInformation < 0 || s.largeAction+s.largeInformation > s.largeObserved {
+			return nil, fmt.Errorf("snapshot: implausible large counters (action %d, information %d, observed %d)",
+				s.largeAction, s.largeInformation, s.largeObserved)
+		}
 	}
 	if len(statsRaw) != v2StatsLen {
 		return nil, fmt.Errorf("snapshot: stats section is %d bytes, want %d", len(statsRaw), v2StatsLen)
@@ -396,6 +616,10 @@ func parseSnapshotV2(data []byte) (*snapV2, error) {
 func (s *snapV2) clusterCount() int { return len(s.clusters) / v2ClusterRecLen }
 func (s *snapV2) lookupCount() int  { return len(s.lookup) / v2LookupRecLen }
 func (s *snapV2) memberCount() int  { return len(s.members) / v2MemberRecLen }
+
+func (s *snapV2) largeClusterCount() int { return len(s.largeClusters) / v3LargeClusterRecLen }
+func (s *snapV2) largeLookupCount() int  { return len(s.largeLookup) / v3LargeLookupRecLen }
+func (s *snapV2) largeMemberCount() int  { return len(s.largeMembers) / v3LargeMemberRecLen }
 
 // lookupAt decodes the i-th lookup record straight from the backing
 // pages. i must be in [0, lookupCount()).
@@ -501,6 +725,106 @@ func (s *snapV2) memberAt(i int) CommunityStats {
 	}
 }
 
+// largeLookupAt decodes the i-th large lookup record.
+func (s *snapV2) largeLookupAt(i int) (comm bgp.LargeCommunity, cluster int32, on, off int64) {
+	b := s.largeLookup[i*v3LargeLookupRecLen : i*v3LargeLookupRecLen+v3LargeLookupRecLen]
+	comm = bgp.LargeCommunity{
+		GlobalAdmin: binary.LittleEndian.Uint32(b[0:]),
+		LocalData1:  binary.LittleEndian.Uint32(b[4:]),
+		LocalData2:  binary.LittleEndian.Uint32(b[8:]),
+	}
+	cluster = int32(binary.LittleEndian.Uint32(b[12:]))
+	on = int64(binary.LittleEndian.Uint64(b[16:]))
+	off = int64(binary.LittleEndian.Uint64(b[24:]))
+	return
+}
+
+// findLargeLookup binary-searches the (ga, ld1, ld2)-sorted large
+// lookup section.
+func (s *snapV2) findLargeLookup(lc bgp.LargeCommunity) (int, bool) {
+	lo, hi := 0, s.largeLookupCount()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		b := s.largeLookup[mid*v3LargeLookupRecLen:]
+		rec := bgp.LargeCommunity{
+			GlobalAdmin: binary.LittleEndian.Uint32(b[0:]),
+			LocalData1:  binary.LittleEndian.Uint32(b[4:]),
+			LocalData2:  binary.LittleEndian.Uint32(b[8:]),
+		}
+		switch c := rec.Compare(lc); {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// largeClusterSummaryAt decodes the i-th large cluster record; ok is
+// false when i is out of range.
+func (s *snapV2) largeClusterSummaryAt(i int) (cs LargeClusterSummary, ok bool) {
+	if i < 0 || i >= s.largeClusterCount() {
+		return cs, false
+	}
+	b := s.largeClusters[i*v3LargeClusterRecLen : i*v3LargeClusterRecLen+v3LargeClusterRecLen]
+	cs.Alpha = binary.LittleEndian.Uint32(b[0:])
+	cs.Fn = binary.LittleEndian.Uint32(b[4:])
+	cs.Lo = binary.LittleEndian.Uint32(b[8:])
+	cs.Hi = binary.LittleEndian.Uint32(b[12:])
+	cs.Label = dict.Category(int8(b[16]))
+	cs.PureOnPath = b[17]&v2ClusterPureOnPath != 0
+	cs.PureOffPath = b[17]&v2ClusterPureOffPath != 0
+	cs.Size = int(binary.LittleEndian.Uint32(b[24:]))
+	cs.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(b[32:]))
+	cs.OnPath = int64(binary.LittleEndian.Uint64(b[40:]))
+	cs.OffPath = int64(binary.LittleEndian.Uint64(b[48:]))
+	return cs, true
+}
+
+// largeClusterLabel reads just the i-th large cluster's label byte.
+func (s *snapV2) largeClusterLabel(i int) dict.Category {
+	if i < 0 || i >= s.largeClusterCount() {
+		return dict.CatUnknown
+	}
+	return dict.Category(int8(s.largeClusters[i*v3LargeClusterRecLen+16]))
+}
+
+// largeClusterMemberRange returns the i-th large cluster's member
+// index range, clamped to the members section.
+func (s *snapV2) largeClusterMemberRange(i int) (start, count int) {
+	if i < 0 || i >= s.largeClusterCount() {
+		return 0, 0
+	}
+	b := s.largeClusters[i*v3LargeClusterRecLen:]
+	start = int(binary.LittleEndian.Uint32(b[20:]))
+	count = int(binary.LittleEndian.Uint32(b[24:]))
+	total := s.largeMemberCount()
+	if start > total {
+		return 0, 0
+	}
+	if count > total-start {
+		count = total - start
+	}
+	return start, count
+}
+
+// largeMemberAt decodes one large member record.
+func (s *snapV2) largeMemberAt(i int) LargeStats {
+	b := s.largeMembers[i*v3LargeMemberRecLen : i*v3LargeMemberRecLen+v3LargeMemberRecLen]
+	return LargeStats{
+		Comm: bgp.LargeCommunity{
+			GlobalAdmin: binary.LittleEndian.Uint32(b[0:]),
+			LocalData1:  binary.LittleEndian.Uint32(b[4:]),
+			LocalData2:  binary.LittleEndian.Uint32(b[8:]),
+		},
+		OnPath:  int(int64(binary.LittleEndian.Uint64(b[16:]))),
+		OffPath: int(int64(binary.LittleEndian.Uint64(b[24:]))),
+	}
+}
+
 // options reconstructs the serializable classifier options.
 func (s *snapV2) options() Options {
 	return Options{
@@ -550,6 +874,44 @@ func (s *snapV2) materialize() *Inferences {
 		excludedStats[c] = CommunityStats{Comm: c, OnPath: int(on), OffPath: int(off)}
 	}
 	inf.buildIndex(excludedStats)
+
+	if nlc := s.largeClusterCount(); nlc > 0 || s.largeLookupCount() > 0 {
+		inf.LargeClusters = make([]LargeCluster, 0, nlc)
+		if nlc > 0 {
+			inf.LargeLabels = make(map[bgp.LargeCommunity]dict.Category)
+		}
+		for i := 0; i < nlc; i++ {
+			cs, _ := s.largeClusterSummaryAt(i)
+			start, count := s.largeClusterMemberRange(i)
+			cl := LargeCluster{
+				Alpha: cs.Alpha, Fn: cs.Fn, Lo: cs.Lo, Hi: cs.Hi, Label: cs.Label,
+				PureOnPath: cs.PureOnPath, PureOffPath: cs.PureOffPath,
+				Ratio:   cs.Ratio,
+				Members: make([]LargeStats, count),
+			}
+			for j := 0; j < count; j++ {
+				cl.Members[j] = s.largeMemberAt(start + j)
+			}
+			inf.LargeClusters = append(inf.LargeClusters, cl)
+			for _, m := range cl.Members {
+				inf.LargeLabels[m.Comm] = cl.Label
+			}
+		}
+		largeExclStats := make(map[bgp.LargeCommunity]LargeStats)
+		for i, n := 0, s.largeLookupCount(); i < n; i++ {
+			lc, cluster, on, off := s.largeLookupAt(i)
+			if cluster >= 0 {
+				continue
+			}
+			if inf.LargeExcluded == nil {
+				inf.LargeExcluded = make(map[bgp.LargeCommunity]ExcludeReason)
+			}
+			reason := ExcludeReason(min(-int64(cluster), int64(ExcludeUnobserved)))
+			inf.LargeExcluded[lc] = reason
+			largeExclStats[lc] = LargeStats{Comm: lc, OnPath: int(on), OffPath: int(off)}
+		}
+		inf.buildLargeIndex(largeExclStats)
+	}
 	return inf
 }
 
@@ -596,6 +958,30 @@ func VerifySnapshotV2(data []byte) error {
 		if start > s.memberCount() || count > s.memberCount()-start {
 			return fmt.Errorf("snapshot: cluster %d members [%d,+%d) exceed member section (%d records)",
 				i, start, count, s.memberCount())
+		}
+	}
+	var prevLarge bgp.LargeCommunity
+	for i, n := 0, s.largeLookupCount(); i < n; i++ {
+		lc, cluster, _, _ := s.largeLookupAt(i)
+		if i > 0 && lc.Compare(prevLarge) <= 0 {
+			return fmt.Errorf("snapshot: large lookup section not strictly sorted at record %d", i)
+		}
+		prevLarge = lc
+		if cluster >= 0 {
+			if int(cluster) >= s.largeClusterCount() {
+				return fmt.Errorf("snapshot: large lookup record %d references cluster %d of %d", i, cluster, s.largeClusterCount())
+			}
+		} else if -cluster > int32(ExcludeNeverOnPath) {
+			return fmt.Errorf("snapshot: large lookup record %d has unknown exclusion reason %d", i, -cluster)
+		}
+	}
+	for i, n := 0, s.largeClusterCount(); i < n; i++ {
+		b := s.largeClusters[i*v3LargeClusterRecLen:]
+		start := int(binary.LittleEndian.Uint32(b[20:]))
+		count := int(binary.LittleEndian.Uint32(b[24:]))
+		if start > s.largeMemberCount() || count > s.largeMemberCount()-start {
+			return fmt.Errorf("snapshot: large cluster %d members [%d,+%d) exceed member section (%d records)",
+				i, start, count, s.largeMemberCount())
 		}
 	}
 	return nil

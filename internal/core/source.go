@@ -78,6 +78,28 @@ type InferenceSource interface {
 	// full reconstruction. The result must round-trip through the v1
 	// snapshot format identically to the original classifier output.
 	Materialize() *Inferences
+
+	// Large-community (RFC 8092) counterparts. Sources built from
+	// classic-only corpora report zero large clusters and answer every
+	// large query as unobserved.
+
+	// VerdictLarge answers one large-community query without
+	// allocating.
+	VerdictLarge(lc bgp.LargeCommunity) LargeVerdict
+	// LargeObserved is the number of distinct large communities covered
+	// (classified plus excluded).
+	LargeObserved() int
+	// LargeCounts returns how many large communities were labeled
+	// action and information.
+	LargeCounts() (action, information int)
+	// LargeClusterCount is the number of inferred large clusters;
+	// summaries are addressed by index in (Alpha, Fn, Lo) order.
+	LargeClusterCount() int
+	// LargeClusterSummaryAt returns the i-th large cluster's summary.
+	LargeClusterSummaryAt(i int) LargeClusterSummary
+	// EachLargeLabeled visits every classified large community; order
+	// is implementation-defined.
+	EachLargeLabeled(fn func(lc bgp.LargeCommunity, cat dict.Category) bool)
 }
 
 // Compile-time interface checks for both implementations.
@@ -85,6 +107,35 @@ var (
 	_ InferenceSource = (*Inferences)(nil)
 	_ InferenceSource = (*Mapped)(nil)
 )
+
+// NoLargeInferences provides the large-community half of
+// InferenceSource with the classic-only answers: zero large clusters,
+// every large query unobserved. Embed it in adapters and test fakes
+// that only model classic communities.
+type NoLargeInferences struct{}
+
+// VerdictLarge reports every large community as unobserved.
+func (NoLargeInferences) VerdictLarge(lc bgp.LargeCommunity) LargeVerdict {
+	return LargeVerdict{Comm: lc, Reason: ExcludeUnobserved}
+}
+
+// LargeObserved is always zero.
+func (NoLargeInferences) LargeObserved() int { return 0 }
+
+// LargeCounts is always zero.
+func (NoLargeInferences) LargeCounts() (action, information int) { return 0, 0 }
+
+// LargeClusterCount is always zero.
+func (NoLargeInferences) LargeClusterCount() int { return 0 }
+
+// LargeClusterSummaryAt never has a valid index; it returns the zero
+// summary.
+func (NoLargeInferences) LargeClusterSummaryAt(int) LargeClusterSummary {
+	return LargeClusterSummary{}
+}
+
+// EachLargeLabeled visits nothing.
+func (NoLargeInferences) EachLargeLabeled(func(lc bgp.LargeCommunity, cat dict.Category) bool) {}
 
 // summarize aggregates one heap cluster into its flat summary.
 func summarize(cl *Cluster) ClusterSummary {

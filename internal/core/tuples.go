@@ -42,21 +42,28 @@ type pathMeta struct {
 type Tuple struct {
 	PathID int32
 	comms  span
+	// lcomms locates the tuple's canonical large-community list (RFC
+	// 8092); the zero span means none. Large communities are part of
+	// tuple identity: observations that differ only in their large
+	// communities are distinct tuples.
+	lcomms span
 	// The VP list is the one per-tuple field that grows after creation,
 	// so it carries a capacity: when full it relocates to the arena
 	// tail with doubled capacity (amortized O(1), bounded dead space).
 	vpOff, vpLen, vpCap uint32
 }
 
-// tupleKey is the fixed-size dedup key of one (path, communities)
-// tuple: the interned path ID plus a 64-bit hash of the canonical
-// communities. Tuples whose communities collide on the hash are
-// disambiguated by comparing the communities themselves (a rare
+// tupleKey is the fixed-size dedup key of one (path, communities,
+// large communities) tuple: the interned path ID plus a 64-bit hash of
+// each canonical community list. Tuples whose lists collide on the
+// hashes are disambiguated by comparing the lists themselves (a rare
 // overflow list holds the extra candidates), so the key is compact
-// without being lossy.
+// without being lossy. Classic-only tuples carry largeHash 0, so their
+// keys are exactly the pre-large ones.
 type tupleKey struct {
 	pathID    int32
 	commsHash uint64
+	largeHash uint64
 }
 
 // TupleStore interns AS paths and deduplicates (path, communities)
@@ -82,9 +89,10 @@ type TupleStore struct {
 	pathIDs  map[string]int32
 	pathKeys []string // path ID -> binary path key (shares pathIDs' key storage)
 
-	tuples    []Tuple
-	commArena []bgp.Community // all tuple community lists (append-only; nil in shared mode)
-	vpArena   []uint32        // all tuple VP lists (relocating; see Tuple)
+	tuples     []Tuple
+	commArena  []bgp.Community      // all tuple community lists (append-only; nil in shared mode)
+	largeArena []bgp.LargeCommunity // all tuple large-community lists (append-only; nil in shared mode)
+	vpArena    []uint32             // all tuple VP lists (relocating; see Tuple)
 
 	// tupleIdx maps a dedup key to its first tuple; tupleDup holds the
 	// (vanishingly rare) extra tuples whose communities collide on the
@@ -96,9 +104,12 @@ type TupleStore struct {
 	tupleIdx map[tupleKey]int32
 	tupleDup map[tupleKey][]int32
 
-	// large counts distinct large (96-bit) communities seen alongside the
-	// regular ones. The paper records their prevalence (11,524 vs 88,982
-	// regular in May 2023) and defers their classification; so do we.
+	// large tracks the distinct large (96-bit) communities seen, for the
+	// corpus statistics. The paper records their prevalence (11,524 vs
+	// 88,982 regular in May 2023) and defers their classification; this
+	// pipeline goes further and classifies them — large communities
+	// attach to tuples (see AddViewLarge) and flow through the same
+	// observe/cluster/classify stages as classic ones.
 	large map[bgp.LargeCommunity]struct{}
 }
 
@@ -111,8 +122,10 @@ func NewTupleStore() *TupleStore {
 	}
 }
 
-// NoteLarge records large communities for the corpus statistics; they
-// are not classified.
+// NoteLarge records large communities in the distinct-large statistics
+// without attaching them to a tuple — the path for observations whose
+// AS path is empty or unusable. Views with a usable path should go
+// through AddViewLarge, which both notes and classifies.
 func (ts *TupleStore) NoteLarge(ls bgp.LargeCommunities) {
 	for _, lc := range ls {
 		ts.large[lc] = struct{}{}
@@ -140,10 +153,11 @@ func appendPathKey(dst []byte, path []uint32) []byte {
 // addScratch holds the per-AddView working buffers; pooled so the hot
 // path allocates nothing when it hits existing paths and tuples.
 type addScratch struct {
-	key   []byte
-	comms bgp.Communities
-	flat  []uint32 // AS-path flattening buffer for AddViewASPath
-	asns  []uint32 // distinct-ASN buffer for shared-mode path interning
+	key    []byte
+	comms  bgp.Communities
+	larges bgp.LargeCommunities // large-community canonicalization buffer
+	flat   []uint32             // AS-path flattening buffer for AddViewASPath
+	asns   []uint32             // distinct-ASN buffer for shared-mode path interning
 }
 
 var addScratchPool = sync.Pool{New: func() any { return new(addScratch) }}
@@ -171,6 +185,40 @@ func canonicalInto(dst, comms bgp.Communities) bgp.Communities {
 
 // commsEqual reports whether two canonical community lists are equal.
 func commsEqual(a, b bgp.Communities) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalLargeInto writes the sorted, de-duplicated form of ls into
+// dst (reusing its capacity) and returns it — the large-community
+// sibling of canonicalInto.
+func canonicalLargeInto(dst, ls bgp.LargeCommunities) bgp.LargeCommunities {
+	dst = append(dst[:0], ls...)
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Compare(dst[j-1]) < 0; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	w := 0
+	for i := range dst {
+		if i == 0 || dst[i] != dst[i-1] {
+			dst[w] = dst[i]
+			w++
+		}
+	}
+	return dst[:w]
+}
+
+// largesEqual reports whether two canonical large-community lists are
+// equal.
+func largesEqual(a, b bgp.LargeCommunities) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -220,61 +268,79 @@ func (ts *TupleStore) internPathKey(key []byte, path []uint32, sc *addScratch) i
 	return id
 }
 
-// AddView records one vantage-point observation. The communities are
-// canonicalized; observations differing only in VP collapse into one
-// tuple. Paths and communities may be reused by the caller; the store
-// copies what it keeps.
+// AddView records one vantage-point observation without large
+// communities; see AddViewLarge.
 func (ts *TupleStore) AddView(vp uint32, path []uint32, comms bgp.Communities) {
+	ts.AddViewLarge(vp, path, comms, nil)
+}
+
+// AddViewLarge records one vantage-point observation. Both community
+// lists are canonicalized; observations differing only in VP collapse
+// into one tuple, while the large communities are part of tuple
+// identity. Paths and communities may be reused by the caller; the
+// store copies what it keeps. Large communities are also noted in the
+// distinct-large statistics, even when the path is empty and no tuple
+// results.
+func (ts *TupleStore) AddViewLarge(vp uint32, path []uint32, comms bgp.Communities, larges bgp.LargeCommunities) {
+	for _, lc := range larges {
+		ts.large[lc] = struct{}{}
+	}
 	if len(path) == 0 {
 		return
 	}
 	sc := addScratchPool.Get().(*addScratch)
 	sc.key = appendPathKey(sc.key[:0], path)
-	ts.addViewKeyed(vp, sc.key, path, comms, sc)
+	ts.addViewKeyed(vp, sc.key, path, comms, larges, sc)
 	addScratchPool.Put(sc)
 }
 
-// addViewKeyed is AddView with the path key pre-rendered into sc.key;
-// sc also carries the canonicalization scratch. Shared by the plain and
-// sharded stores.
-func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms bgp.Communities, sc *addScratch) {
+// addViewKeyed is AddViewLarge with the path key pre-rendered into
+// sc.key; sc also carries the canonicalization scratch. Shared by the
+// plain and sharded stores. Callers are responsible for noting larges
+// in ts.large.
+func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms bgp.Communities, larges bgp.LargeCommunities, sc *addScratch) {
 	if ts.tupleIdx == nil {
 		ts.reindex()
 	}
 	id := ts.internPathKey(key, path, sc)
 	sc.comms = canonicalInto(sc.comms, comms)
 	canon := sc.comms
+	sc.larges = canonicalLargeInto(sc.larges, larges)
+	canonLarge := sc.larges
 	if ts.shared != nil {
-		// The intern ref is an exact identity for the canonical list, so
+		// The intern refs are exact identities for the canonical lists, so
 		// the dedup key needs no content comparison and cannot collide.
 		ref := ts.shared.comms.intern(canon)
-		tk := tupleKey{pathID: id, commsHash: ref}
+		lref := ts.shared.larges.intern(canonLarge)
+		tk := tupleKey{pathID: id, commsHash: ref, largeHash: lref}
 		if ti, ok := ts.tupleIdx[tk]; ok {
 			ts.addVP(ti, vp)
 			return
 		}
 		ts.tupleIdx[tk] = int32(len(ts.tuples))
 		off, n := unpackRef(ref)
+		loff, ln := unpackRef(lref)
 		vpOff := uint32(len(ts.vpArena))
 		ts.vpArena = append(ts.vpArena, vp)
 		ts.tuples = append(ts.tuples, Tuple{
 			PathID: id,
 			comms:  span{off: off, n: n},
+			lcomms: span{off: loff, n: ln},
 			vpOff:  vpOff, vpLen: 1, vpCap: 1,
 		})
 		return
 	}
-	tk := tupleKey{pathID: id, commsHash: hashComms(canon)}
+	tk := tupleKey{pathID: id, commsHash: hashComms(canon), largeHash: hashLarges(canonLarge)}
 	if ti, ok := ts.tupleIdx[tk]; ok {
-		if ts.addVPIfMatch(ti, canon, vp) {
+		if ts.addVPIfMatch(ti, canon, canonLarge, vp) {
 			return
 		}
 		for _, di := range ts.tupleDup[tk] {
-			if ts.addVPIfMatch(di, canon, vp) {
+			if ts.addVPIfMatch(di, canon, canonLarge, vp) {
 				return
 			}
 		}
-		// Hash collision: a distinct community list under the same key.
+		// Hash collision: distinct community lists under the same key.
 		if ts.tupleDup == nil {
 			ts.tupleDup = make(map[tupleKey][]int32)
 		}
@@ -284,11 +350,14 @@ func (ts *TupleStore) addViewKeyed(vp uint32, key []byte, path []uint32, comms b
 	}
 	commOff := uint32(len(ts.commArena))
 	ts.commArena = append(ts.commArena, canon...)
+	largeOff := uint32(len(ts.largeArena))
+	ts.largeArena = append(ts.largeArena, canonLarge...)
 	vpOff := uint32(len(ts.vpArena))
 	ts.vpArena = append(ts.vpArena, vp)
 	ts.tuples = append(ts.tuples, Tuple{
 		PathID: id,
 		comms:  span{off: commOff, n: uint32(len(canon))},
+		lcomms: span{off: largeOff, n: uint32(len(canonLarge))},
 		vpOff:  vpOff, vpLen: 1, vpCap: 1,
 	})
 }
@@ -307,9 +376,17 @@ func (ts *TupleStore) reindex() {
 		t := &ts.tuples[i]
 		var tk tupleKey
 		if ts.shared != nil {
-			tk = tupleKey{pathID: t.PathID, commsHash: packRef(t.comms.off, t.comms.n)}
+			tk = tupleKey{
+				pathID:    t.PathID,
+				commsHash: packRef(t.comms.off, t.comms.n),
+				largeHash: packRef(t.lcomms.off, t.lcomms.n),
+			}
 		} else {
-			tk = tupleKey{pathID: t.PathID, commsHash: hashComms(ts.TupleComms(t))}
+			tk = tupleKey{
+				pathID:    t.PathID,
+				commsHash: hashComms(ts.TupleComms(t)),
+				largeHash: hashLarges(ts.TupleLarges(t)),
+			}
 		}
 		if _, dup := ts.tupleIdx[tk]; dup {
 			if ts.tupleDup == nil {
@@ -325,10 +402,13 @@ func (ts *TupleStore) reindex() {
 	}
 }
 
-// addVPIfMatch merges vp into tuple ti if its communities equal canon,
-// reporting whether it did.
-func (ts *TupleStore) addVPIfMatch(ti int32, canon bgp.Communities, vp uint32) bool {
+// addVPIfMatch merges vp into tuple ti if both of its community lists
+// equal the canonical candidates, reporting whether it did.
+func (ts *TupleStore) addVPIfMatch(ti int32, canon bgp.Communities, canonLarge bgp.LargeCommunities, vp uint32) bool {
 	if !commsEqual(ts.TupleComms(&ts.tuples[ti]), canon) {
+		return false
+	}
+	if !largesEqual(ts.TupleLarges(&ts.tuples[ti]), canonLarge) {
 		return false
 	}
 	ts.addVP(ti, vp)
@@ -404,6 +484,19 @@ func (ts *TupleStore) TupleComms(t *Tuple) bgp.Communities {
 		return ts.shared.comms.view(t.comms.off, t.comms.n)
 	}
 	return ts.commArena[t.comms.off : t.comms.off+t.comms.n]
+}
+
+// TupleLarges returns a tuple's canonical large-community list (a view
+// into the large arena or the shared intern arena; do not mutate). Nil
+// for classic-only tuples.
+func (ts *TupleStore) TupleLarges(t *Tuple) bgp.LargeCommunities {
+	if t.lcomms.n == 0 {
+		return nil
+	}
+	if ts.shared != nil {
+		return ts.shared.larges.view(t.lcomms.off, t.lcomms.n)
+	}
+	return ts.largeArena[t.lcomms.off : t.lcomms.off+t.lcomms.n]
 }
 
 // TupleVPs returns a tuple's sorted distinct vantage points (a view

@@ -51,6 +51,19 @@ type Config struct {
 	// Workers bounds classifier parallelism in Options(): 0 means one
 	// worker per CPU, 1 forces sequential runs (results are identical).
 	Workers int
+
+	// NoLargeComms disables large-community mirroring in the simulator,
+	// producing a classic-only corpus (RFC 1997 communities exclusively).
+	// The classic routes are unchanged either way: the mirror draw uses
+	// its own keyed RNG, so a classic-only corpus differs from the mixed
+	// one only by the absence of large communities.
+	NoLargeComms bool
+
+	// LargeMatrix switches the simulator to the deterministic std/lrg
+	// matrix: every plan community an origin attaches is mirrored as a
+	// large community (arouteserver-style announce/suppress matrix),
+	// instead of the probabilistic LargeMirrorProb sampling.
+	LargeMatrix bool
 }
 
 // DefaultConfig returns the benchmark corpus configuration.
@@ -100,6 +113,10 @@ func Build(cfg Config) (*Corpus, error) {
 	tcfg.Seed = cfg.Seed
 	tcfg.Epoch = cfg.Epoch
 	scfg.Seed = cfg.Seed
+	if cfg.NoLargeComms {
+		scfg.LargeMirrorProb = 0
+	}
+	scfg.LargeMatrix = cfg.LargeMatrix
 
 	topo, err := topology.Generate(tcfg)
 	if err != nil {
@@ -129,8 +146,7 @@ func (c *Corpus) LoadDay(day int) {
 	res := c.Sim.RunDay(day)
 	for i := range res.Views {
 		v := &res.Views[i]
-		c.Store.AddView(v.VP, v.Path, v.Comms)
-		c.Store.NoteLarge(v.LargeComms)
+		c.Store.AddViewLarge(v.VP, v.Path, v.Comms, v.LargeComms)
 	}
 }
 

@@ -26,7 +26,7 @@ func Headline(c *corpus.Corpus) *Report {
 	conf := AgainstDictionary(inf, c.Dict)
 
 	observed := len(c.Store.Communities())
-	r.addf("tuples=%d unique-paths=%d observed-communities=%d (regular) + %d large (not classified)",
+	r.addf("tuples=%d unique-paths=%d observed-communities=%d (regular) + %d large",
 		c.Store.Len(), c.Store.PathCount(), observed, c.Store.LargeCommunityCount())
 	r.addf("classified=%d (action=%d information=%d) excluded=%d", action+info, action, info, len(inf.Excluded))
 	r.addf("dictionary: ases=%d entries=%d covered-communities=%d", c.Dict.ASNs(), c.Dict.Len(), conf.Total())

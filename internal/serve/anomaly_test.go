@@ -63,6 +63,7 @@ func feedSpike(t *testing.T, eng *anomaly.Engine) {
 // staticSem is a one-community InferenceSource stub; the engine only
 // calls Category.
 type staticSem struct {
+	core.NoLargeInferences
 	c   bgp.Community
 	cat dict.Category
 }

@@ -15,8 +15,9 @@ import (
 	"bgpintent"
 )
 
-// writeSnapFile serializes res as a v2 snapshot file and returns its
-// path — what an origin intentd would publish at /v1/snapshot.
+// writeSnapFile serializes res as a flat (v2/v3) snapshot file and
+// returns its path — what an origin intentd would publish at
+// /v1/snapshot.
 func writeSnapFile(t *testing.T, dir, name string, w *testWorld, res *bgpintent.Result) string {
 	t.Helper()
 	path := filepath.Join(dir, name)
@@ -24,7 +25,7 @@ func writeSnapFile(t *testing.T, dir, name string, w *testWorld, res *bgpintent.
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := res.WriteSnapshotV2(f, w.corpus.SnapshotInfo("replica-test")); err != nil {
+	if err := res.WriteSnapshotFlat(f, w.corpus.SnapshotInfo("replica-test")); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -217,11 +217,14 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// ClusterJSON is a cluster as rendered in responses.
+// ClusterJSON is a cluster as rendered in responses. The numeric
+// fields are wide enough for large-community clusters; classic
+// clusters render identically to the historical uint16 shape. Fn is
+// only present on large clusters.
 type ClusterJSON struct {
-	ASN         uint16  `json:"asn"`
-	Lo          uint16  `json:"lo"`
-	Hi          uint16  `json:"hi"`
+	ASN         uint32  `json:"asn"`
+	Lo          uint32  `json:"lo"`
+	Hi          uint32  `json:"hi"`
 	Category    string  `json:"category"`
 	Size        int     `json:"size"`
 	OnPath      int     `json:"on_path"`
@@ -229,6 +232,7 @@ type ClusterJSON struct {
 	PureOnPath  bool    `json:"pure_on_path"`
 	PureOffPath bool    `json:"pure_off_path"`
 	Ratio       float64 `json:"ratio"`
+	Fn          *uint32 `json:"fn,omitempty"`
 }
 
 func clusterJSON(cl *bgpintent.Cluster) *ClusterJSON {
@@ -236,15 +240,31 @@ func clusterJSON(cl *bgpintent.Cluster) *ClusterJSON {
 		return nil
 	}
 	return &ClusterJSON{
-		ASN: cl.ASN, Lo: cl.Lo, Hi: cl.Hi, Category: cl.Category.String(),
+		ASN: uint32(cl.ASN), Lo: uint32(cl.Lo), Hi: uint32(cl.Hi), Category: cl.Category.String(),
 		Size: cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
 		PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
 	}
 }
 
+func largeClusterJSON(cl *bgpintent.LargeCluster) *ClusterJSON {
+	if cl == nil {
+		return nil
+	}
+	fn := cl.Fn
+	return &ClusterJSON{
+		ASN: cl.ASN, Lo: cl.Lo, Hi: cl.Hi, Category: cl.Category.String(),
+		Size: cl.Size, OnPath: cl.OnPath, OffPath: cl.OffPath,
+		PureOnPath: cl.PureOnPath, PureOffPath: cl.PureOffPath, Ratio: cl.Ratio,
+		Fn: &fn,
+	}
+}
+
 // Annotation is one community verdict as rendered in responses.
 type Annotation struct {
-	Community string       `json:"community"`
+	Community string `json:"community"`
+	// Kind is "classic" for α:β communities, "large" for RFC 8092
+	// α:fn:value ones.
+	Kind      string       `json:"kind"`
 	Observed  bool         `json:"observed"`
 	Category  string       `json:"category"`
 	OnPath    int          `json:"on_path"`
@@ -257,16 +277,31 @@ type Annotation struct {
 }
 
 func annotate(snap *Snapshot, c bgp.Community) Annotation {
-	l := snap.Lookup(bgpintent.Comm(c.ASN(), c.Value()))
-	return Annotation{
-		Community: l.Community.String(),
+	return annotateKey(snap, bgpintent.ClassicKey(c.ASN(), c.Value()))
+}
+
+func annotateLarge(snap *Snapshot, lc bgp.LargeCommunity) Annotation {
+	return annotateKey(snap, bgpintent.LargeKey(lc.GlobalAdmin, lc.LocalData1, lc.LocalData2))
+}
+
+// annotateKey answers one verdict for a community of either kind.
+func annotateKey(snap *Snapshot, k bgpintent.CommunityKey) Annotation {
+	l := snap.LookupKey(k)
+	a := Annotation{
+		Community: l.Key.String(),
+		Kind:      l.Key.Kind().String(),
 		Observed:  l.Observed,
 		Category:  l.Category.String(),
 		OnPath:    l.OnPath,
 		OffPath:   l.OffPath,
 		Reason:    string(l.Reason),
-		Cluster:   clusterJSON(l.Cluster),
 	}
+	if l.Cluster != nil {
+		a.Cluster = clusterJSON(l.Cluster)
+	} else if l.LargeCluster != nil {
+		a.Cluster = largeClusterJSON(l.LargeCluster)
+	}
+	return a
 }
 
 // communityResponse is the GET /v1/community/{comm} body.
@@ -276,7 +311,7 @@ type communityResponse struct {
 }
 
 func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
-	c, err := bgp.ParseCommunity(r.PathValue("comm"))
+	k, err := bgpintent.ParseCommunityKey(r.PathValue("comm"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad community: %v", err)
 		return
@@ -287,7 +322,7 @@ func (s *Server) handleCommunity(w http.ResponseWriter, r *http.Request) {
 	snap := s.Snapshot()
 	s.serveCached(w, snap, r.URL.Path, func() any {
 		return communityResponse{
-			Annotation: annotate(snap, c),
+			Annotation: annotateKey(snap, k),
 			Generation: snap.Gen,
 		}
 	})
@@ -345,7 +380,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	for i, cs := range req.Communities {
-		c, err := bgp.ParseCommunity(cs)
+		k, err := bgpintent.ParseCommunityKey(cs)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "communities[%d]: %v", i, err)
 			return
@@ -354,16 +389,16 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusRequestEntityTooLarge, "more than %d communities in one request", maxAnnotateItems)
 			return
 		}
-		resp.Annotations = append(resp.Annotations, annotate(snap, c))
+		resp.Annotations = append(resp.Annotations, annotateKey(snap, k))
 	}
 
 	for i, tup := range req.Tuples {
-		comms, err := bgp.ParseCommunities(tup.Communities)
+		comms, lcomms, err := bgp.ParseCommunities(tup.Communities)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "tuples[%d].communities: %v", i, err)
 			return
 		}
-		if !budget(len(comms)) {
+		if !budget(len(comms) + len(lcomms)) {
 			writeError(w, http.StatusRequestEntityTooLarge, "more than %d communities in one request", maxAnnotateItems)
 			return
 		}
@@ -380,6 +415,14 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 			a := annotate(snap, c)
 			if havePath {
 				on := path.Contains(uint32(c.ASN()))
+				a.OnThisPath = &on
+			}
+			tr.Annotations = append(tr.Annotations, a)
+		}
+		for _, lc := range lcomms {
+			a := annotateLarge(snap, lc)
+			if havePath {
+				on := path.Contains(lc.GlobalAdmin)
 				a.OnThisPath = &on
 			}
 			tr.Annotations = append(tr.Annotations, a)

@@ -129,7 +129,7 @@ func TestCommunityEndpoint(t *testing.T) {
 	if !resp.Observed || resp.Category != w.catA.String() || resp.Generation != 1 {
 		t.Fatalf("probe response %+v, want observed %s gen 1", resp, w.catA)
 	}
-	if resp.Cluster == nil || resp.Cluster.Lo > w.probe.Value || resp.Cluster.Hi < w.probe.Value {
+	if resp.Cluster == nil || resp.Cluster.Lo > uint32(w.probe.Value) || resp.Cluster.Hi < uint32(w.probe.Value) {
 		t.Fatalf("probe cluster %+v does not span %v", resp.Cluster, w.probe)
 	}
 	if resp.OnPath+resp.OffPath == 0 {
@@ -216,7 +216,7 @@ func TestASAndStatsEndpoints(t *testing.T) {
 	}
 	found := false
 	for _, cl := range asResp.Clusters {
-		if cl.Lo <= w.probe.Value && w.probe.Value <= cl.Hi {
+		if cl.Lo <= uint32(w.probe.Value) && uint32(w.probe.Value) <= cl.Hi {
 			found = true
 		}
 	}

@@ -80,6 +80,12 @@ func (s *Snapshot) Lookup(c bgpintent.Community) bgpintent.Lookup {
 	return s.res.Lookup(c)
 }
 
+// LookupKey answers one kind-aware community query (classic or large)
+// from this snapshot.
+func (s *Snapshot) LookupKey(k bgpintent.CommunityKey) bgpintent.KeyLookup {
+	return s.res.LookupKey(k)
+}
+
 // ClustersFor returns the clusters inferred for one α, in (Lo, Hi)
 // order. The returned slice is shared and must not be mutated.
 func (s *Snapshot) ClustersFor(asn uint16) []bgpintent.Cluster {

@@ -218,9 +218,11 @@ func (s *Simulator) originRoute(op originPrefix, day int) *route {
 	}
 
 	// Large-community mirroring: some origins duplicate their tags in the
-	// RFC 8092 form (α as 32-bit ASN, function code, value).
+	// RFC 8092 form (α as 32-bit ASN, function code, value). In matrix
+	// mode every origin mirrors unconditionally — the deterministic
+	// std/lrg announce/suppress matrix.
 	lm := keyRand(s.cfg.Seed, pkey^uint64(a.ASN), saltLarge)
-	if lm.Float64() < s.cfg.LargeMirrorProb {
+	if s.cfg.LargeMatrix || lm.Float64() < s.cfg.LargeMirrorProb {
 		lcs := make(bgp.LargeCommunities, 0, len(comms))
 		for _, c := range comms {
 			if c.IsWellKnown() || c.IsPrivateASN() {

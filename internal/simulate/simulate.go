@@ -75,9 +75,16 @@ type Config struct {
 
 	// LargeMirrorProb is the probability that an origin mirrors its
 	// attached communities as large (RFC 8092) communities too, giving
-	// the corpus the regular/large mix the paper reports (it classifies
-	// regular communities only, as do we).
+	// the corpus the regular/large mix the paper reports. Unlike the
+	// paper (which counts large communities and defers them), the
+	// pipeline classifies the mirrored large space as well.
 	LargeMirrorProb float64
+
+	// LargeMatrix makes the mirroring deterministic: every eligible
+	// community an origin attaches gets its large twin, regardless of
+	// LargeMirrorProb — the arouteserver-style std/lrg matrix, where
+	// each standard announce/suppress control has a large-form sibling.
+	LargeMatrix bool
 }
 
 // DefaultConfig returns corpus-scale simulation parameters.

@@ -40,7 +40,10 @@ type Update struct {
 	Path []uint32
 	// Comms is the attached community set.
 	Comms bgp.Communities
-	// LargeComms carries large communities (counted, not classified).
+	// LargeComms carries large communities. The streaming window
+	// deliberately tracks these as statistics only — keying them into
+	// window tuples would defeat dirty-α delta reclassification (see
+	// window.go); batch loads classify them fully.
 	LargeComms bgp.LargeCommunities
 }
 

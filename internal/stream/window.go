@@ -105,6 +105,10 @@ func (w *Window) Add(u Update) {
 }
 
 // apply feeds one update into the store and marks what it dirtied.
+// Large communities are deliberately counted (NoteLarge) rather than
+// tuple-keyed (AddViewLarge): the window relies on dirty-α delta
+// reclassification, which only tracks 16-bit α sets, and keyed larges
+// would force every tick onto the full-classify fallback.
 func (w *Window) apply(u Update) {
 	w.store.AddView(u.VP, u.Path, u.Comms)
 	w.store.NoteLarge(u.LargeComms)
